@@ -1,0 +1,146 @@
+package icash
+
+import (
+	"bytes"
+	"testing"
+
+	"icash/internal/sim"
+)
+
+func newTestElementArray(t *testing.T) *ElementArray {
+	t.Helper()
+	arr, err := NewElementArray(ArrayConfig{
+		Elements: 4,
+		Element:  Config{DataBlocks: 4096, SSDBlocks: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func TestElementArrayValidation(t *testing.T) {
+	if _, err := NewElementArray(ArrayConfig{}); err == nil {
+		t.Error("zero elements must fail")
+	}
+	if _, err := NewElementArray(ArrayConfig{Elements: 2}); err == nil {
+		t.Error("zero DataBlocks must fail")
+	}
+}
+
+func TestElementArrayCapacityAndStriping(t *testing.T) {
+	arr := newTestElementArray(t)
+	if arr.Blocks() < 4096 {
+		t.Fatalf("capacity %d below requested", arr.Blocks())
+	}
+	if len(arr.Elements()) != 4 {
+		t.Fatalf("%d elements", len(arr.Elements()))
+	}
+	// Chunked round-robin: consecutive chunks land on distinct elements.
+	e0, _ := arr.locate(0)
+	e1, _ := arr.locate(32)
+	e2, _ := arr.locate(64)
+	if e0 == e1 || e1 == e2 || e0 == e2 {
+		t.Fatalf("striping broken: %d %d %d", e0, e1, e2)
+	}
+	// Within a chunk: same element, consecutive local addresses.
+	ea, la := arr.locate(5)
+	eb, lb := arr.locate(6)
+	if ea != eb || lb != la+1 {
+		t.Fatal("within-chunk locality broken")
+	}
+}
+
+func TestElementArrayShadow(t *testing.T) {
+	arr := newTestElementArray(t)
+	r := sim.NewRand(1)
+	model := map[int64][]byte{}
+	buf := make([]byte, BlockSize)
+	for i := 0; i < 6000; i++ {
+		lba := r.Int63n(arr.Blocks())
+		if r.Float64() < 0.5 {
+			content := pattern(byte(lba % 13))
+			if _, err := arr.Write(lba, content); err != nil {
+				t.Fatal(err)
+			}
+			model[lba] = content
+		} else {
+			if _, err := arr.Read(lba, buf); err != nil {
+				t.Fatal(err)
+			}
+			want := model[lba]
+			if want == nil {
+				want = make([]byte, BlockSize)
+			}
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("op %d lba %d mismatch", i, lba)
+			}
+		}
+	}
+	// Load must spread across elements.
+	for i, el := range arr.Elements() {
+		st := el.Stats()
+		if st.Ops() < 500 {
+			t.Errorf("element %d saw only %d ops", i, st.Ops())
+		}
+	}
+	if arr.Stats().WriteDelta == 0 {
+		t.Error("no delta writes across the array")
+	}
+	if arr.KindCounts().Total() == 0 {
+		t.Error("no tracked blocks")
+	}
+	if arr.SimulatedTime() <= 0 {
+		t.Error("no simulated time")
+	}
+	if arr.SSDStats().HostWrites < 0 {
+		t.Error("ssd stats")
+	}
+}
+
+func TestElementArrayCrashRecovery(t *testing.T) {
+	arr := newTestElementArray(t)
+	model := map[int64][]byte{}
+	for lba := int64(0); lba < 1200; lba++ {
+		c := pattern(byte(lba % 9))
+		if _, err := arr.Write(lba, c); err != nil {
+			t.Fatal(err)
+		}
+		model[lba] = c
+	}
+	if err := arr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := arr.Crash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, BlockSize)
+	for lba, want := range model {
+		if _, err := rec.Read(lba, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("lba %d corrupted across array recovery", lba)
+		}
+	}
+}
+
+func TestElementArrayBoundsAndPreload(t *testing.T) {
+	arr := newTestElementArray(t)
+	buf := make([]byte, BlockSize)
+	if _, err := arr.Read(arr.Blocks(), buf); err == nil {
+		t.Error("out-of-range read must fail")
+	}
+	if _, err := arr.Write(-1, buf); err == nil {
+		t.Error("negative write must fail")
+	}
+	want := pattern(5)
+	if err := arr.Preload(777, want); err != nil {
+		t.Fatal(err)
+	}
+	arr.Read(777, buf)
+	if !bytes.Equal(buf, want) {
+		t.Fatal("preload mismatch")
+	}
+}

@@ -1,0 +1,308 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§5), plus micro-benchmarks of the core algorithms and
+// ablation sweeps over the design parameters DESIGN.md calls out.
+//
+// The figure/table benchmarks drive the full five-system harness at
+// 1/256 of the paper's scale; each iteration is one complete experiment,
+// and the paper's rows are logged alongside custom metrics (run with
+// -benchtime=1x -v to see them). The reproduction criterion is shape:
+// who wins and by roughly what factor.
+package icash_test
+
+import (
+	"fmt"
+	"testing"
+
+	"icash"
+	"icash/internal/blockdev"
+	"icash/internal/core"
+	"icash/internal/delta"
+	"icash/internal/harness"
+	"icash/internal/sig"
+	"icash/internal/sim"
+	"icash/internal/workload"
+)
+
+var benchOpts = workload.Options{Scale: 1.0 / 256, Seed: 42}
+
+// benchExperiment runs one registered experiment per iteration and logs
+// the measured-vs-paper rows once.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := harness.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	p, ok := workload.ByName(e.Benchmark)
+	if !ok {
+		b.Fatalf("unknown benchmark %q", e.Benchmark)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br, err := harness.RunBenchmark(p, benchOpts, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("%s: %s\n%s", e.ID, e.Title, e.Render(br))
+			if r := br.Results[harness.ICASH]; r != nil {
+				b.ReportMetric(r.TxnPerSec, "icash-tx/s")
+			}
+			if r := br.Results[harness.FusionIO]; r != nil {
+				b.ReportMetric(r.TxnPerSec, "fusionio-tx/s")
+			}
+		}
+	}
+}
+
+// One benchmark per figure and table of §5 (DESIGN.md §3 index).
+
+func BenchmarkFig06a(b *testing.B)         { benchExperiment(b, "fig6a") }
+func BenchmarkFig06b(b *testing.B)         { benchExperiment(b, "fig6b") }
+func BenchmarkFig07(b *testing.B)          { benchExperiment(b, "fig7") }
+func BenchmarkFig08a(b *testing.B)         { benchExperiment(b, "fig8a") }
+func BenchmarkFig08b(b *testing.B)         { benchExperiment(b, "fig8b") }
+func BenchmarkFig09(b *testing.B)          { benchExperiment(b, "fig9") }
+func BenchmarkFig10a(b *testing.B)         { benchExperiment(b, "fig10a") }
+func BenchmarkFig10b(b *testing.B)         { benchExperiment(b, "fig10b") }
+func BenchmarkFig11(b *testing.B)          { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)          { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)          { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)          { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)          { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)          { benchExperiment(b, "fig16") }
+func BenchmarkTable5Hadoop(b *testing.B)   { benchExperiment(b, "table5-hadoop") }
+func BenchmarkTable5TPCC(b *testing.B)     { benchExperiment(b, "table5-tpcc") }
+func BenchmarkTable6SysBench(b *testing.B) { benchExperiment(b, "table6-sysbench") }
+func BenchmarkTable6Hadoop(b *testing.B)   { benchExperiment(b, "table6-hadoop") }
+func BenchmarkTable6TPCC(b *testing.B)     { benchExperiment(b, "table6-tpcc") }
+func BenchmarkTable6SPECsfs(b *testing.B)  { benchExperiment(b, "table6-specsfs") }
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks: the compute building blocks whose cost the paper
+// trades against mechanical I/O.
+// ---------------------------------------------------------------------
+
+func benchBlocks(similar bool) (target, ref []byte) {
+	ref = make([]byte, blockdev.BlockSize)
+	sim.NewRand(1).Bytes(ref)
+	target = append([]byte(nil), ref...)
+	if similar {
+		r := sim.NewRand(2)
+		for i := 0; i < 5; i++ { // five 40-byte runs ≈ 5% of the block
+			pos := r.Intn(blockdev.BlockSize - 40)
+			for j := 0; j < 40; j++ {
+				target[pos+j] = byte(r.Uint64())
+			}
+		}
+	} else {
+		sim.NewRand(3).Bytes(target)
+	}
+	return
+}
+
+func BenchmarkDeltaEncodeSimilar(b *testing.B) {
+	target, ref := benchBlocks(true)
+	b.SetBytes(blockdev.BlockSize)
+	for i := 0; i < b.N; i++ {
+		if _, ok := delta.Encode(target, ref, 2048); !ok {
+			b.Fatal("similar block rejected")
+		}
+	}
+}
+
+func BenchmarkDeltaEncodeUnrelated(b *testing.B) {
+	target, ref := benchBlocks(false)
+	b.SetBytes(blockdev.BlockSize)
+	for i := 0; i < b.N; i++ {
+		delta.Encode(target, ref, 2048) // rejected by threshold
+	}
+}
+
+func BenchmarkDeltaDecode(b *testing.B) {
+	target, ref := benchBlocks(true)
+	d, _ := delta.Encode(target, ref, 0)
+	b.SetBytes(blockdev.BlockSize)
+	for i := 0; i < b.N; i++ {
+		if _, err := delta.Decode(ref, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSignatureCompute(b *testing.B) {
+	blk := make([]byte, blockdev.BlockSize)
+	sim.NewRand(4).Bytes(blk)
+	b.SetBytes(blockdev.BlockSize)
+	for i := 0; i < b.N; i++ {
+		sig.Compute(blk)
+	}
+}
+
+func BenchmarkHeatmapRecordPopularity(b *testing.B) {
+	h := sig.NewHeatmap()
+	blk := make([]byte, blockdev.BlockSize)
+	sim.NewRand(5).Bytes(blk)
+	s := sig.Compute(blk)
+	for i := 0; i < b.N; i++ {
+		h.Record(s)
+		_ = h.Popularity(s)
+	}
+}
+
+func BenchmarkArraySteadyStateWrite(b *testing.B) {
+	arr, err := icash.New(icash.Config{DataBlocks: 4096, SSDBlocks: 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := make([]byte, icash.BlockSize)
+	sim.NewRand(6).Bytes(base)
+	for lba := int64(0); lba < 2048; lba++ {
+		arr.Write(lba, base)
+	}
+	mod := append([]byte(nil), base...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mod[128+(i%64)] = byte(i)
+		if _, err := arr.Write(int64(i%2048), mod); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkArraySteadyStateRead(b *testing.B) {
+	arr, err := icash.New(icash.Config{DataBlocks: 4096, SSDBlocks: 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := make([]byte, icash.BlockSize)
+	sim.NewRand(7).Bytes(base)
+	for lba := int64(0); lba < 2048; lba++ {
+		arr.Write(lba, base)
+	}
+	buf := make([]byte, icash.BlockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arr.Read(int64(i%2048), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation sweeps (DESIGN.md §4): each benchmark runs the I-CASH system
+// alone across one parameter's values and logs the resulting trade-off.
+// ---------------------------------------------------------------------
+
+// ablationRun executes SysBench on I-CASH only, with tune applied.
+func ablationRun(b *testing.B, tune func(*core.Config)) *harness.Result {
+	b.Helper()
+	opts := benchOpts
+	opts.TuneICASH = tune
+	br, err := harness.RunBenchmark(workload.SysBench(), opts, []harness.Kind{harness.ICASH})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return br.Results[harness.ICASH]
+}
+
+// BenchmarkAblationSignature compares the paper's sampled sub-signature
+// against hashing the full sub-block: the sampled form is an order of
+// magnitude cheaper, which is why the paper rejects hashing (§4.2).
+func BenchmarkAblationSignature(b *testing.B) {
+	blk := make([]byte, blockdev.BlockSize)
+	sim.NewRand(8).Bytes(blk)
+	b.Run("sampled-subsig", func(b *testing.B) {
+		b.SetBytes(blockdev.BlockSize)
+		for i := 0; i < b.N; i++ {
+			sig.Compute(blk)
+		}
+	})
+	b.Run("full-fnv-hash", func(b *testing.B) {
+		b.SetBytes(blockdev.BlockSize)
+		for i := 0; i < b.N; i++ {
+			var h uint64 = 14695981039346656037
+			for _, c := range blk {
+				h = (h ^ uint64(c)) * 1099511628211
+			}
+			_ = h
+		}
+	})
+}
+
+func BenchmarkAblationScanPeriod(b *testing.B) {
+	for _, period := range []int{64, 240, 960, 2000} {
+		period := period
+		b.Run(fmt.Sprintf("period-%d", period), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := ablationRun(b, func(c *core.Config) { c.ScanPeriod = period })
+				if i == 0 {
+					b.ReportMetric(r.TxnPerSec, "tx/s")
+					b.ReportMetric(float64(r.ICASHStats.Scans), "scans")
+					b.ReportMetric(float64(r.ICASHStats.RefsSelected), "refs")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationDeltaThreshold(b *testing.B) {
+	for _, thr := range []int{512, 1024, 2048, 4096} {
+		thr := thr
+		b.Run(fmt.Sprintf("threshold-%d", thr), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := ablationRun(b, func(c *core.Config) { c.DeltaThreshold = thr })
+				if i == 0 {
+					b.ReportMetric(r.TxnPerSec, "tx/s")
+					b.ReportMetric(float64(r.SSDHostWrites), "ssd-writes")
+					b.ReportMetric(float64(r.ICASHStats.WriteDelta), "delta-writes")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationSegmentSize(b *testing.B) {
+	for _, seg := range []int{32, 64, 128, 256} {
+		seg := seg
+		b.Run(fmt.Sprintf("segment-%d", seg), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := ablationRun(b, func(c *core.Config) { c.SegmentSize = seg })
+				if i == 0 {
+					b.ReportMetric(r.TxnPerSec, "tx/s")
+					b.ReportMetric(float64(r.ICASHStats.EvictDeltaRAM), "delta-evictions")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationFlushPeriod(b *testing.B) {
+	for _, ops := range []int{16, 128, 480, 4096} {
+		ops := ops
+		b.Run(fmt.Sprintf("flush-%d", ops), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := ablationRun(b, func(c *core.Config) { c.FlushPeriodOps = ops })
+				if i == 0 {
+					b.ReportMetric(r.TxnPerSec, "tx/s")
+					b.ReportMetric(float64(r.ICASHStats.LogBlocksWritten), "log-writes")
+					b.ReportMetric(float64(r.ICASHStats.FlushRuns), "flushes")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationScanWindow(b *testing.B) {
+	for _, win := range []int{500, 1000, 4000} {
+		win := win
+		b.Run(fmt.Sprintf("window-%d", win), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := ablationRun(b, func(c *core.Config) { c.ScanWindow = win })
+				if i == 0 {
+					b.ReportMetric(r.TxnPerSec, "tx/s")
+					b.ReportMetric(float64(r.ICASHStats.AssocFormed), "associations")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,55 @@
+// Command icash-bench regenerates the figures and tables of the I-CASH
+// paper's evaluation (§5) on the simulated storage stack.
+//
+// Usage:
+//
+//	icash-bench -run all                 # every figure and table
+//	icash-bench -run fig6a,fig7          # specific experiments
+//	icash-bench -list                    # show the experiment index
+//	icash-bench -run fig6a -scale 0.02   # bigger run (default 1/256)
+//
+// Each experiment prints measured values next to the paper's reported
+// values; the reproduction criterion is the shape (who wins, by roughly
+// what factor), not absolute numbers — the substrate is a simulator,
+// not the authors' 2011 testbed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"icash/internal/harness"
+	"icash/internal/workload"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "comma-separated experiment IDs, or 'all'")
+		list  = flag.Bool("list", false, "list all experiments and exit")
+		scale = flag.Float64("scale", 1.0/256, "data-set and op-count scale relative to the paper")
+		seed  = flag.Uint64("seed", 42, "workload random seed")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments (use -run ID[,ID...] or -run all):")
+		for _, e := range harness.Experiments {
+			fmt.Printf("  %-16s %-12s %s\n", e.ID, e.Benchmark, e.Title)
+		}
+		if *run == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	ids := strings.Split(*run, ",")
+	opts := workload.Options{Scale: *scale, Seed: *seed}
+	report, err := harness.RunExperiments(ids, opts)
+	fmt.Print(report)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icash-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,136 @@
+// Command icash-inspect runs a benchmark workload against a single
+// I-CASH array and dumps the controller's internal state: the block-kind
+// mix, delta-size distribution, heatmap spectrum, SSD slot usage, and
+// the full path/eviction statistics — the observability companion to
+// icash-bench.
+//
+// Usage:
+//
+//	icash-inspect -bench SysBench
+//	icash-inspect -bench "TPC-C 5VMs" -scale 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"icash/internal/blockdev"
+	"icash/internal/harness"
+	"icash/internal/workload"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "SysBench", "benchmark name (see icash-trace)")
+		scale = flag.Float64("scale", 1.0/256, "workload scale")
+		seed  = flag.Uint64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	p, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "icash-inspect: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	opts := workload.Options{Scale: *scale, Seed: *seed}
+	br, err := harness.RunBenchmark(p, opts, []harness.Kind{harness.ICASH})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icash-inspect: %v\n", err)
+		os.Exit(1)
+	}
+	res := br.Results[harness.ICASH]
+	ctrl := br.SysICASH
+	st := res.ICASHStats
+
+	fmt.Printf("I-CASH on %s (scale %.4g, %d ops)\n", p.Name, *scale, res.Ops)
+	fmt.Printf("elapsed %v — %.1f tx/s, reads avg %v, writes avg %v\n\n",
+		res.Elapsed, res.TxnPerSec, res.ReadLat.Mean(), res.WriteLat.Mean())
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	kinds := res.KindCounts
+	ref, assoc, indep := kinds.Fractions()
+	fmt.Fprintf(w, "block mix\treference %d (%.0f%%)\tassociate %d (%.0f%%)\tindependent %d (%.0f%%)\n",
+		kinds.Reference, 100*ref, kinds.Associate, 100*assoc, kinds.Independent, 100*indep)
+	fmt.Fprintf(w, "SSD slots\tlive %d\tfree %d\t\n", ctrl.LiveSlotCount(), ctrl.FreeSlotCount())
+	fmt.Fprintf(w, "delta RAM\t%s in use\tavg delta %.0fB\t%d deltas accepted\n",
+		workload.ByteSize(ctrl.DeltaRAMUsed()), st.AvgDeltaSize(), st.DeltaCount)
+	w.Flush()
+
+	fmt.Println("\ndelta size distribution (accepted deltas):")
+	labels := []string{"<=64B", "<=128B", "<=256B", "<=512B", "<=1KB", "<=2KB"}
+	for i, n := range st.DeltaSizeHist {
+		bar := ""
+		if st.DeltaCount > 0 {
+			width := int(50 * n / st.DeltaCount)
+			for j := 0; j < width; j++ {
+				bar += "#"
+			}
+		}
+		fmt.Printf("  %-7s %7d %s\n", labels[i], n, bar)
+	}
+
+	fmt.Println("\nwrite path:")
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "  delta-compressed\t%d\n", st.WriteDelta)
+	fmt.Fprintf(w, "  SSD write-through (oversized delta, §5.3)\t%d\n", st.WriteThroughSSD)
+	fmt.Fprintf(w, "  independent (RAM data block)\t%d\n", st.WriteIndependent)
+	fmt.Fprintf(w, "  delta encodes / threshold rejects\t%d / %d\n", st.EncodeOps, st.ScanDeltaRejects)
+	w.Flush()
+
+	fmt.Println("\nread path:")
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "  controller RAM hits\t%d\n", st.ReadRAMHits)
+	fmt.Fprintf(w, "  SSD reference + delta decode\t%d (%d decodes)\n", st.ReadSSDHits, st.DecodeOps)
+	fmt.Fprintf(w, "  packed-delta log loads\t%d\n", st.ReadLogLoads)
+	fmt.Fprintf(w, "  HDD home misses\t%d\n", st.ReadHDDMisses)
+	w.Flush()
+
+	fmt.Println("\nreference management:")
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "  scans / candidates examined\t%d / %d\n", st.Scans, st.ScanCandidates)
+	fmt.Fprintf(w, "  references selected / demoted\t%d / %d\n", st.RefsSelected, st.RefsDemoted)
+	fmt.Fprintf(w, "  associations formed (first-load: %d)\t%d\n", st.FirstLoadPairs, st.AssocFormed)
+	w.Flush()
+
+	fmt.Println("\ndelta log:")
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "  flushes / log blocks written / deltas packed\t%d / %d / %d\n",
+		st.FlushRuns, st.LogBlocksWritten, st.DeltasPacked)
+	fmt.Fprintf(w, "  cleaner runs / deltas rescued\t%d / %d\n", st.LogCleanerRuns, st.DeltasRescued)
+	w.Flush()
+
+	fmt.Println("\nevictions:")
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "  virtual blocks / data RAM / delta RAM\t%d / %d / %d\n",
+		st.EvictVBlocks, st.EvictDataRAM, st.EvictDeltaRAM)
+	fmt.Fprintf(w, "  write-backs to home\t%d\n", st.WritebacksHome)
+	w.Flush()
+
+	fmt.Println("\nheatmap spectrum (top sub-signature popularity per row):")
+	heat := ctrl.Heatmap()
+	for row := 0; row < 8; row++ {
+		type hv struct {
+			val byte
+			pop uint64
+		}
+		var top []hv
+		for v := 0; v < 256; v++ {
+			if p := heat.Value(row, byte(v)); p > 0 {
+				top = append(top, hv{byte(v), p})
+			}
+		}
+		sort.Slice(top, func(i, j int) bool { return top[i].pop > top[j].pop })
+		fmt.Printf("  row %d:", row)
+		for i := 0; i < 4 && i < len(top); i++ {
+			fmt.Printf("  0x%02x=%d", top[i].val, top[i].pop)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\ndevices: SSD %s (%d host writes, %d erases, WA %.2f), HDD busy %v\n",
+		workload.ByteSize(int64(res.SSDHostWrites)*blockdev.BlockSize),
+		res.SSDHostWrites, res.SSDErases, res.SSDWriteAmp, res.HDDBusy)
+}

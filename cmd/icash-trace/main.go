@@ -1,0 +1,107 @@
+// Command icash-trace generates and characterizes the benchmark request
+// streams (the paper's Table 4): request counts, average request sizes,
+// data-set sizes, read/write mix — both the paper's reported values and
+// the properties of the scaled synthetic streams this reproduction
+// drives.
+//
+// Usage:
+//
+//	icash-trace                     # Table 4 for all benchmarks
+//	icash-trace -bench SysBench     # one benchmark, measured stream stats
+//	icash-trace -bench TPC-C -dump 20   # print the first 20 requests
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"icash/internal/blockdev"
+	"icash/internal/workload"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "", "benchmark name (empty = all, Table 4 style)")
+		scale = flag.Float64("scale", 1.0/256, "stream scale")
+		seed  = flag.Uint64("seed", 42, "workload seed")
+		dump  = flag.Int("dump", 0, "print the first N requests of the stream")
+	)
+	flag.Parse()
+
+	if *bench == "" {
+		printTable4()
+		return
+	}
+	p, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "icash-trace: unknown benchmark %q; known:\n", *bench)
+		for _, q := range workload.Table4() {
+			fmt.Fprintf(os.Stderr, "  %s\n", q.Name)
+		}
+		os.Exit(2)
+	}
+	gen := workload.NewGenerator(p, workload.Options{Scale: *scale, Seed: *seed})
+	fmt.Println(gen.Summary())
+
+	if *dump > 0 {
+		for i := 0; i < *dump; i++ {
+			req, ok := gen.Next()
+			if !ok {
+				break
+			}
+			op := "R"
+			if req.Write {
+				op = "W"
+			}
+			fmt.Printf("%6d %s lba=%-10d blocks=%d\n", i, op, req.LBA, req.Blocks)
+		}
+		return
+	}
+
+	// Measure the actual stream properties and compare with Table 4.
+	var reads, writes, readBlocks, writeBlocks int64
+	for {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if req.Write {
+			writes++
+			writeBlocks += int64(req.Blocks)
+		} else {
+			reads++
+			readBlocks += int64(req.Blocks)
+		}
+	}
+	avg := func(blocks, n int64) float64 {
+		if n == 0 {
+			return 0
+		}
+		return float64(blocks) / float64(n) * blockdev.BlockSize
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "metric\tmeasured (scaled)\tpaper (Table 4)\n")
+	fmt.Fprintf(w, "reads\t%d\t%d\n", reads, p.PaperReads)
+	fmt.Fprintf(w, "writes\t%d\t%d\n", writes, p.PaperWrites)
+	fmt.Fprintf(w, "read fraction\t%.3f\t%.3f\n",
+		float64(reads)/float64(reads+writes), p.ReadFraction())
+	fmt.Fprintf(w, "avg read bytes\t%.0f\t%d\n", avg(readBlocks, reads), p.AvgReadBytes)
+	fmt.Fprintf(w, "avg write bytes\t%.0f\t%d\n", avg(writeBlocks, writes), p.AvgWriteBytes)
+	fmt.Fprintf(w, "data size\t%s\t%s\n",
+		workload.ByteSize(gen.DataBlocks()*blockdev.BlockSize), workload.ByteSize(p.DataBytes))
+	w.Flush()
+}
+
+func printTable4() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Benchmark\t#Reads\t#Writes\tAvgRead\tAvgWrite\tDataSize\tVM RAM\n")
+	for _, p := range workload.Table4() {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%dB\t%dB\t%s\t%s\n",
+			p.Name, p.PaperReads, p.PaperWrites, p.AvgReadBytes, p.AvgWriteBytes,
+			workload.ByteSize(p.DataBytes), workload.ByteSize(p.VMRAMBytes))
+	}
+	w.Flush()
+	fmt.Println("\n(paper Table 4; use -bench NAME for measured scaled-stream statistics)")
+}

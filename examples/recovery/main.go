@@ -1,0 +1,92 @@
+// Crash recovery (paper §3.3): I-CASH keeps deltas in RAM for speed and
+// flushes them to the HDD log periodically. This example writes data,
+// establishes a consistency point, "pulls the plug", and rebuilds the
+// controller from the SSD + HDD alone — demonstrating that the delta
+// log, reference pointers and tombstones reconstruct the exact state.
+//
+//	go run ./examples/recovery
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"icash"
+	"icash/internal/sim"
+)
+
+func main() {
+	arr, err := icash.New(icash.Config{DataBlocks: 4096, SSDBlocks: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A content-local working set: blocks share a template, writes
+	// modify a header region.
+	template := make([]byte, icash.BlockSize)
+	sim.NewRand(3).Bytes(template)
+	content := func(lba int64, version int) []byte {
+		b := append([]byte(nil), template...)
+		for i := 0; i < 48; i++ {
+			b[i] = byte(int(lba) + version + i)
+		}
+		return b
+	}
+
+	fmt.Println("writing 1,000 blocks, two versions each...")
+	for version := 0; version < 2; version++ {
+		for lba := int64(0); lba < 1000; lba++ {
+			if _, err := arr.Write(lba, content(lba, version)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	st := arr.Stats()
+	fmt.Printf("controller state: %d delta writes, %d log blocks written, %d flushes\n",
+		st.WriteDelta, st.LogBlocksWritten, st.FlushRuns)
+
+	fmt.Println("flushing (consistency point)...")
+	if err := arr.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("CRASH: discarding all controller RAM state")
+	rec, err := arr.Crash()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered: %d blocks tracked from the delta log\n", rec.KindCounts().Total())
+
+	fmt.Println("verifying all 1,000 blocks post-recovery...")
+	buf := make([]byte, icash.BlockSize)
+	bad := 0
+	for lba := int64(0); lba < 1000; lba++ {
+		if _, err := rec.Read(lba, buf); err != nil {
+			log.Fatalf("read %d: %v", lba, err)
+		}
+		if !bytes.Equal(buf, content(lba, 1)) {
+			bad++
+		}
+	}
+	if bad > 0 {
+		log.Fatalf("%d blocks corrupted after recovery", bad)
+	}
+	fmt.Println("all blocks intact: reference blocks (SSD) + delta log (HDD) fully reconstruct the data")
+
+	// Demonstrate the bounded loss window: unflushed writes are lost.
+	if _, err := rec.Write(0, content(0, 9)); err != nil {
+		log.Fatal(err)
+	}
+	rec2, err := rec.Crash() // no flush this time
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec2.Read(0, buf)
+	if bytes.Equal(buf, content(0, 9)) {
+		fmt.Println("note: the unflushed write happened to be durable (small delta flushed by cadence)")
+	} else {
+		fmt.Println("as designed: the write issued after the last flush was lost — the")
+		fmt.Println("flush interval is the paper's reliability/performance knob (§3.3)")
+	}
+}

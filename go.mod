@@ -1,0 +1,3 @@
+module icash
+
+go 1.22

@@ -1,0 +1,138 @@
+// Package blockdev defines the block-device abstraction every simulated
+// storage component implements: SSDs, HDDs, RAID arrays, caches and the
+// I-CASH controller itself. Devices address fixed-size blocks (the paper
+// fixes the cache block at 4 KB) and report a simulated service latency
+// for every request instead of sleeping.
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+
+	"icash/internal/sim"
+)
+
+// BlockSize is the unit of all device I/O in this simulation: 4 KB,
+// matching the paper's fixed cache-block size (§4.2).
+const BlockSize = 4096
+
+// Errors shared by all device implementations.
+var (
+	// ErrOutOfRange reports an access beyond the device capacity.
+	ErrOutOfRange = errors.New("blockdev: block address out of range")
+	// ErrBadBuffer reports a data buffer whose length is not BlockSize.
+	ErrBadBuffer = errors.New("blockdev: buffer length must equal BlockSize")
+)
+
+// Device is a fixed-block storage device on the simulated timeline.
+//
+// ReadBlock and WriteBlock transfer exactly one block and return the
+// simulated service time of the request. Implementations advance any
+// internal state (head position, FTL mappings, wear counters) but do not
+// advance the shared clock; the caller owns scheduling.
+type Device interface {
+	// ReadBlock reads block lba into buf (len(buf) == BlockSize).
+	ReadBlock(lba int64, buf []byte) (sim.Duration, error)
+	// WriteBlock writes buf (len(buf) == BlockSize) to block lba.
+	WriteBlock(lba int64, buf []byte) (sim.Duration, error)
+	// Blocks returns the device capacity in blocks.
+	Blocks() int64
+}
+
+// Stats accumulates request counts, bytes and service time for one
+// device or one side (read/write) of a storage system. The experiment
+// harness renders figures from these counters.
+type Stats struct {
+	Reads      int64
+	Writes     int64
+	ReadTime   sim.Duration
+	WriteTime  sim.Duration
+	ReadBytes  int64
+	WriteBytes int64
+}
+
+// NoteRead records one read of n bytes taking d.
+func (s *Stats) NoteRead(n int, d sim.Duration) {
+	s.Reads++
+	s.ReadBytes += int64(n)
+	s.ReadTime += d
+}
+
+// NoteWrite records one write of n bytes taking d.
+func (s *Stats) NoteWrite(n int, d sim.Duration) {
+	s.Writes++
+	s.WriteBytes += int64(n)
+	s.WriteTime += d
+}
+
+// Ops returns the total number of requests recorded.
+func (s *Stats) Ops() int64 { return s.Reads + s.Writes }
+
+// AvgRead returns the mean read service time, or 0 with no reads.
+func (s *Stats) AvgRead() sim.Duration {
+	if s.Reads == 0 {
+		return 0
+	}
+	return s.ReadTime / sim.Duration(s.Reads)
+}
+
+// AvgWrite returns the mean write service time, or 0 with no writes.
+func (s *Stats) AvgWrite() sim.Duration {
+	if s.Writes == 0 {
+		return 0
+	}
+	return s.WriteTime / sim.Duration(s.Writes)
+}
+
+// Add merges o into s.
+func (s *Stats) Add(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.ReadTime += o.ReadTime
+	s.WriteTime += o.WriteTime
+	s.ReadBytes += o.ReadBytes
+	s.WriteBytes += o.WriteBytes
+}
+
+// String summarizes the counters for logs and inspection tools.
+func (s *Stats) String() string {
+	return fmt.Sprintf("reads=%d(avg %v) writes=%d(avg %v)",
+		s.Reads, s.AvgRead(), s.Writes, s.AvgWrite())
+}
+
+// CheckRange validates an (lba, capacity) pair, returning ErrOutOfRange
+// outside [0, blocks).
+func CheckRange(lba, blocks int64) error {
+	if lba < 0 || lba >= blocks {
+		return fmt.Errorf("%w: lba %d, capacity %d blocks", ErrOutOfRange, lba, blocks)
+	}
+	return nil
+}
+
+// CheckBuffer validates a data buffer length.
+func CheckBuffer(buf []byte) error {
+	if len(buf) != BlockSize {
+		return fmt.Errorf("%w: got %d bytes", ErrBadBuffer, len(buf))
+	}
+	return nil
+}
+
+// Preloader is implemented by devices that can have content installed
+// directly, bypassing timing, wear and statistics. Experiment harnesses
+// use it to lay down the initial data set, mirroring devices that
+// already hold the benchmark data before the measured run starts.
+type Preloader interface {
+	Preload(lba int64, content []byte) error
+}
+
+// FillFunc generates the initial content of a never-written block. The
+// experiment harness installs the workload's content oracle on every
+// device so the benchmark data set "already exists" on the media without
+// materializing gigabytes of RAM: unwritten blocks are recomputed on
+// demand, deterministically.
+type FillFunc func(lba int64, buf []byte)
+
+// Filler is implemented by devices that accept a FillFunc.
+type Filler interface {
+	SetFill(FillFunc)
+}

@@ -1,0 +1,516 @@
+package core
+
+import (
+	"fmt"
+
+	"icash/internal/blockdev"
+	"icash/internal/cpumodel"
+	"icash/internal/ram"
+	"icash/internal/sig"
+	"icash/internal/sim"
+)
+
+// refSlot is one SSD block holding immutable reference content. Virtual
+// blocks attach to a slot and carry a delta against its content; the
+// slot's content never changes while any block is attached, which keeps
+// every associate decodable (a written "reference block" keeps its SSD
+// data and accumulates its own delta, paper §4.3).
+type refSlot struct {
+	index  int64         // SSD block index
+	refcnt int           // attached virtual blocks
+	donor  int64         // lba whose content was installed, -1 when unknown
+	sigv   sig.Signature // signature of the slot content
+}
+
+// Controller is the I-CASH device: an SSD + HDD pair coupled by the
+// similarity/delta algorithm. It implements blockdev.Device. It is not
+// safe for concurrent use; the simulation is single-threaded.
+type Controller struct {
+	cfg   Config
+	clock *sim.Clock
+	cpu   *cpumodel.Accountant
+	costs cpumodel.Costs
+
+	ssd blockdev.Device // reference store, cfg.SSDBlocks
+	hdd blockdev.Device // primary region + delta-log region
+
+	heat   *sig.Heatmap
+	blocks map[int64]*vblock
+	lru    lruList
+
+	deltaBudget *ram.Budget
+	dataBudget  *ram.Budget
+
+	slots map[int64]*refSlot // SSD index -> live slot
+	// slotOrder lists live slots in allocation order for deterministic
+	// similarity search (map iteration order would not be reproducible).
+	slotOrder []*refSlot
+	freeSlots []int64
+	// quarantine holds freed SSD slots that may not be reused until the
+	// next log flush commits the tombstones that detached them.
+	quarantine []int64
+
+	// dirtyQ is the FIFO of virtual blocks with unflushed deltas or
+	// pending control records, in write order (flush packs in this
+	// order, preserving the temporal grouping of §3.1).
+	dirtyQ     []*vblock
+	dirtyBytes int64
+	// control holds pending durable control records (tombstones and SSD
+	// pointers) awaiting the next flush.
+	control []logEntry
+
+	logHead int64 // next log block (index within the log region)
+	logSeq  uint64
+	// logIndex maps each LBA to its newest durable log record; recovery
+	// replays exactly this relation. In-RAM state supersedes it while
+	// the controller is running.
+	logIndex map[int64]logRec
+	// logMeta holds per-log-block entry metadata so the cleaner can
+	// decide liveness without reading dead blocks from disk.
+	logMeta map[int64][]entryMeta
+	// perLba counts durable records per LBA across the whole log; a
+	// tombstone may be dropped only when it is the last record.
+	perLba map[int64]int
+
+	// sameOffset indexes blocks by VM-image offset for first-load
+	// similarity pairing (paper §4.2 case 1).
+	sameOffset map[int64][]*vblock
+
+	// liveLogBytes approximates the payload bytes of live delta records
+	// in the log; shedding keeps it below the log capacity.
+	liveLogBytes int64
+
+	opCount int64
+
+	// pinned is the block currently being served by ReadBlock or
+	// WriteBlock; every eviction and reclamation path skips it so that
+	// budget pressure can never drop the in-flight request's state.
+	pinned *vblock
+
+	// Stats is externally visible accounting.
+	Stats Stats
+}
+
+// New builds a controller over the given SSD and HDD devices. The HDD
+// must be at least cfg.VirtualBlocks+cfg.LogBlocks large; the SSD at
+// least cfg.SSDBlocks.
+func New(cfg Config, ssdDev, hddDev blockdev.Device, clock *sim.Clock, cpu *cpumodel.Accountant) (*Controller, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if ssdDev.Blocks() < cfg.SSDBlocks {
+		return nil, fmt.Errorf("core: SSD has %d blocks, config needs %d", ssdDev.Blocks(), cfg.SSDBlocks)
+	}
+	if hddDev.Blocks() < cfg.VirtualBlocks+cfg.LogBlocks {
+		return nil, fmt.Errorf("core: HDD has %d blocks, need %d (primary) + %d (log)",
+			hddDev.Blocks(), cfg.VirtualBlocks, cfg.LogBlocks)
+	}
+	c := &Controller{
+		cfg:         cfg,
+		clock:       clock,
+		cpu:         cpu,
+		costs:       cpumodel.DefaultCosts(),
+		ssd:         ssdDev,
+		hdd:         hddDev,
+		heat:        sig.NewHeatmap(),
+		blocks:      make(map[int64]*vblock),
+		deltaBudget: ram.NewBudget(cfg.DeltaRAMBytes),
+		dataBudget:  ram.NewBudget(cfg.DataRAMBytes),
+		slots:       make(map[int64]*refSlot),
+		logIndex:    make(map[int64]logRec),
+		logMeta:     make(map[int64][]entryMeta),
+		perLba:      make(map[int64]int),
+		sameOffset:  make(map[int64][]*vblock),
+	}
+	c.freeSlots = make([]int64, 0, cfg.SSDBlocks)
+	for i := cfg.SSDBlocks - 1; i >= 0; i-- {
+		c.freeSlots = append(c.freeSlots, i)
+	}
+	return c, nil
+}
+
+// Blocks returns the virtual disk capacity.
+func (c *Controller) Blocks() int64 { return c.cfg.VirtualBlocks }
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Heatmap exposes the popularity table for inspection tools and tests.
+func (c *Controller) Heatmap() *sig.Heatmap { return c.heat }
+
+// DeltaRAMUsed returns the current delta-buffer occupancy in bytes.
+func (c *Controller) DeltaRAMUsed() int64 { return c.deltaBudget.Used() }
+
+// segBytes rounds a delta size up to segment granularity; deltas are
+// managed as linked 64-byte segments (paper §4.3).
+func (c *Controller) segBytes(n int) int64 {
+	seg := int64(c.cfg.SegmentSize)
+	return (int64(n) + seg - 1) / seg * seg
+}
+
+// offsetKey maps an LBA to its VM-image offset key, or -1 when VM-aware
+// pairing is disabled.
+func (c *Controller) offsetKey(lba int64) int64 {
+	if c.cfg.VMImageBlocks <= 0 {
+		return -1
+	}
+	return lba % c.cfg.VMImageBlocks
+}
+
+// KindCounts snapshots the virtual-block population.
+func (c *Controller) KindCounts() KindCounts {
+	var k KindCounts
+	for v := c.lru.head; v != nil; v = v.next {
+		switch v.kind {
+		case Reference:
+			k.Reference++
+		case Associate:
+			k.Associate++
+		default:
+			k.Independent++
+		}
+	}
+	return k
+}
+
+// ---------------------------------------------------------------------
+// Virtual block lifecycle
+// ---------------------------------------------------------------------
+
+// getOrLoad returns the vblock for lba, loading it from the HDD home
+// location on a miss (forWrite skips the home read: a full-block write
+// overwrites everything). The returned latency is the synchronous cost.
+func (c *Controller) getOrLoad(lba int64, forWrite bool) (*vblock, sim.Duration, error) {
+	if v, ok := c.blocks[lba]; ok {
+		return v, 0, nil
+	}
+	if err := c.ensureMetadata(); err != nil {
+		return nil, 0, err
+	}
+	v := &vblock{lba: lba, hddHome: true}
+	var lat sim.Duration
+	if !forWrite {
+		buf := make([]byte, blockdev.BlockSize)
+		d, err := c.hdd.ReadBlock(lba, buf)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: home read lba %d: %w", lba, err)
+		}
+		lat += d
+		c.Stats.ReadHDDMisses++
+		if err := c.cacheData(v, buf, false); err != nil {
+			return nil, 0, err
+		}
+		v.sigv = sig.Compute(buf)
+		c.cpu.ChargeStorage(c.costs.Signature)
+	}
+	c.blocks[lba] = v
+	c.lru.pushFront(v)
+	if key := c.offsetKey(lba); key >= 0 {
+		c.sameOffset[key] = append(c.sameOffset[key], v)
+	}
+	// First-load similarity: look for an attached block at the same
+	// VM-image offset and try to share its reference (paper §4.2).
+	if !forWrite && v.dataRAM != nil {
+		c.pinned = v // pairing may trigger reclamation
+		c.tryFirstLoadPair(v)
+	}
+	return v, lat, nil
+}
+
+// dropVBlock removes v from all controller indexes and releases its RAM.
+// The caller must already have made v's content durable.
+func (c *Controller) dropVBlock(v *vblock) {
+	v.dead = true
+	v.inDirty = false // pending flush entries for v are skipped
+	c.releaseData(v)
+	c.releaseDelta(v)
+	if v.slotRef != nil {
+		c.detachSlot(v)
+	}
+	c.lru.remove(v)
+	delete(c.blocks, v.lba)
+	if key := c.offsetKey(v.lba); key >= 0 {
+		list := c.sameOffset[key]
+		for i, b := range list {
+			if b == v {
+				list[i] = list[len(list)-1]
+				list = list[:len(list)-1]
+				break
+			}
+		}
+		if len(list) == 0 {
+			delete(c.sameOffset, key)
+		} else {
+			c.sameOffset[key] = list
+		}
+	}
+	c.Stats.EvictVBlocks++
+}
+
+// ---------------------------------------------------------------------
+// RAM budget management
+// ---------------------------------------------------------------------
+
+// cacheData installs content (copied) as v's RAM data block, evicting
+// colder data blocks if needed. dirty marks the copy newer than any
+// durable copy.
+func (c *Controller) cacheData(v *vblock, content []byte, dirty bool) error {
+	if v.dataRAM == nil {
+		for !c.dataBudget.Reserve(blockdev.BlockSize) {
+			if !c.evictOneDataRAM(v) {
+				// Budget too small to hold even this block: serve
+				// without caching. Dirty content must not be dropped.
+				if dirty {
+					if err := c.writeHome(v, content); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		}
+		v.dataRAM = make([]byte, blockdev.BlockSize)
+	}
+	copy(v.dataRAM, content)
+	v.dataDirty = dirty
+	return nil
+}
+
+// releaseData drops v's RAM data block (caller handles dirtiness).
+func (c *Controller) releaseData(v *vblock) {
+	if v.dataRAM != nil {
+		v.dataRAM = nil
+		c.dataBudget.Release(blockdev.BlockSize)
+	}
+}
+
+// evictOneDataRAM frees one cached data block, searching from the LRU
+// tail (paper's data-block replacement, §4.3). keep is exempt. Reports
+// whether anything was freed.
+func (c *Controller) evictOneDataRAM(keep *vblock) bool {
+	for v := c.lru.tail; v != nil; v = v.prev {
+		if v == keep || v == c.pinned || v.dataRAM == nil {
+			continue
+		}
+		if v.dataDirty {
+			// Only copy: make it durable at the home location first.
+			if err := c.writeHome(v, v.dataRAM); err != nil {
+				continue
+			}
+		}
+		c.releaseData(v)
+		c.Stats.EvictDataRAM++
+		return true
+	}
+	return false
+}
+
+// storeDelta installs enc as v's RAM delta, adjusting the segment-based
+// budget and the dirty queue. Reports whether the budget could
+// accommodate it.
+func (c *Controller) storeDelta(v *vblock, enc []byte, dirty bool) bool {
+	return c.storeDeltaOpt(v, enc, dirty, reclaimFull)
+}
+
+// storeDeltaBestEffort is storeDelta with only recursion-safe
+// reclamation: it may drop cold clean deltas that also live in the log,
+// but never evicts blocks (no device I/O, no recursion). Log-prefetch
+// and recovery paths use it.
+func (c *Controller) storeDeltaBestEffort(v *vblock, enc []byte, dirty bool) bool {
+	return c.storeDeltaOpt(v, enc, dirty, reclaimDropOnly)
+}
+
+// reclaim modes for storeDeltaOpt.
+type reclaimMode uint8
+
+const (
+	reclaimFull reclaimMode = iota
+	reclaimDropOnly
+)
+
+func (c *Controller) storeDeltaOpt(v *vblock, enc []byte, dirty bool, mode reclaimMode) bool {
+	newCost := c.segBytes(len(enc))
+	oldCost := int64(0)
+	if v.deltaRAM != nil {
+		oldCost = c.segBytes(len(v.deltaRAM))
+	}
+	if newCost > oldCost {
+		need := newCost - oldCost
+		for !c.deltaBudget.Reserve(need) {
+			var ok bool
+			switch mode {
+			case reclaimDropOnly:
+				ok = c.dropOneCleanDelta(v)
+			default:
+				ok = c.reclaimDeltaRAM(v)
+			}
+			if !ok {
+				return false
+			}
+		}
+	} else if oldCost > newCost {
+		c.deltaBudget.Release(oldCost - newCost)
+	}
+	wasDirty := v.deltaDirty
+	v.deltaRAM = enc
+	v.deltaDirty = dirty
+	if dirty {
+		c.dirtyBytes += int64(len(enc))
+		if wasDirty {
+			// Replaced a dirty delta: its bytes were already queued;
+			// adjust the outstanding estimate.
+			c.dirtyBytes -= oldCost // approximation: remove old segment cost
+			if c.dirtyBytes < 0 {
+				c.dirtyBytes = 0
+			}
+		}
+		if !v.inDirty {
+			v.inDirty = true
+			c.dirtyQ = append(c.dirtyQ, v)
+		}
+	}
+	return true
+}
+
+// releaseDelta drops v's RAM delta and its budget reservation.
+func (c *Controller) releaseDelta(v *vblock) {
+	if v.deltaRAM == nil {
+		return
+	}
+	c.deltaBudget.Release(c.segBytes(len(v.deltaRAM)))
+	v.deltaRAM = nil
+	v.deltaDirty = false
+}
+
+// reclaimDeltaRAM frees delta-buffer space under pressure: first drop a
+// clean RAM delta that also lives in the log (cheap), then flush dirty
+// deltas to the log, then fall back to evicting a whole delta-carrying
+// virtual block (the paper's delta replacement, §4.3). keep is exempt.
+// dropOneCleanDelta frees delta RAM by discarding, from the LRU tail, a
+// clean delta whose durable copy lives in the log. Pure RAM operation:
+// no device I/O, safe from any context.
+func (c *Controller) dropOneCleanDelta(keep *vblock) bool {
+	for v := c.lru.tail; v != nil; v = v.prev {
+		if v == keep || v == c.pinned || v.deltaRAM == nil || v.deltaDirty || !c.deltaLogged(v) {
+			continue
+		}
+		c.releaseDelta(v)
+		c.Stats.EvictDeltaRAM++
+		return true
+	}
+	return false
+}
+
+func (c *Controller) reclaimDeltaRAM(keep *vblock) bool {
+	if c.dropOneCleanDelta(keep) {
+		return true
+	}
+	if c.dirtyBytes > 0 || len(c.dirtyQ) > 0 {
+		before := c.deltaBudget.Used()
+		if err := c.flushDeltas(); err == nil {
+			// Flushing marks deltas clean; retry the drop pass.
+			if c.dropOneCleanDelta(keep) || c.deltaBudget.Used() < before {
+				return true
+			}
+		}
+	}
+	// Last resort: evict a whole non-reference block carrying a delta.
+	for v := c.lru.tail; v != nil; v = v.prev {
+		if v == keep || v == c.pinned || v.kind == Reference || (v.deltaRAM == nil && !c.deltaLogged(v)) {
+			continue
+		}
+		if err := c.evictToHome(v); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// deltaLogged reports whether the newest durable log record for v is a
+// delta record (i.e. v's clean RAM delta can be dropped and reloaded).
+func (c *Controller) deltaLogged(v *vblock) bool {
+	rec, ok := c.logIndex[v.lba]
+	return ok && rec.kind == entryDelta
+}
+
+// ensureMetadata keeps the tracked-block population within bounds by
+// evicting from the LRU tail, skipping reference blocks (the paper's
+// virtual-block replacement, §4.3).
+func (c *Controller) ensureMetadata() error {
+	for c.lru.len() >= c.cfg.MetadataBlocks {
+		var victim *vblock
+		for v := c.lru.tail; v != nil; v = v.prev {
+			if v != c.pinned && v.kind != Reference {
+				victim = v
+				break
+			}
+		}
+		if victim == nil {
+			// Everything is a reference; demote the coldest.
+			for v := c.lru.tail; v != nil; v = v.prev {
+				if v != c.pinned {
+					victim = v
+					break
+				}
+			}
+			if victim == nil {
+				return nil
+			}
+		}
+		if err := c.evictToHome(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evictToHome makes v's current content durable at its HDD home
+// location, appends a tombstone so recovery ignores stale log entries,
+// and drops the block's metadata.
+func (c *Controller) evictToHome(v *vblock) error {
+	if !v.hddHome || v.dataDirty {
+		content, _, _, err := c.materialize(v, true)
+		if err != nil {
+			return err
+		}
+		if err := c.writeHome(v, content); err != nil {
+			return err
+		}
+	}
+	// A tombstone tells recovery the home location is authoritative,
+	// superseding any durable or pending delta/pointer record.
+	rec, hasRec := c.logIndex[v.lba]
+	dbg(v.lba, "evictToHome kind=%v ssdCur=%v hasRec=%v recKind=%d dirty=%v", v.kind, v.ssdCurrent, hasRec, rec.kind, v.deltaDirty)
+	if (hasRec && rec.kind != entryTombstone) || v.ssdCurrent || v.deltaDirty || v.inDirty {
+		c.queueControl(logEntry{kind: entryTombstone, lba: v.lba})
+	}
+	c.Stats.WritebacksHome++
+	c.dropVBlock(v)
+	return nil
+}
+
+// writeHome writes content to v's HDD home location (background time).
+func (c *Controller) writeHome(v *vblock, content []byte) error {
+	d, err := c.hdd.WriteBlock(v.lba, content)
+	if err != nil {
+		return fmt.Errorf("core: home write lba %d: %w", v.lba, err)
+	}
+	c.Stats.BackgroundHDDTime += d
+	v.hddHome = true
+	v.dataDirty = false
+	return nil
+}
+
+// debugLBA enables targeted tracing of one LBA's state transitions in
+// tests; -1 disables.
+var debugLBA int64 = -1
+
+func dbg(lba int64, format string, args ...interface{}) {
+	if lba == debugLBA {
+		fmt.Printf("[dbg %d] "+format+"\n", append([]interface{}{lba}, args...)...)
+	}
+}
+
+// ResetStats zeroes the controller's accumulated statistics; internal
+// state (references, deltas, LRU) is untouched. Harnesses call it after
+// an unmeasured populate phase.
+func (c *Controller) ResetStats() { c.Stats = Stats{} }

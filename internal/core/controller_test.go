@@ -1,0 +1,334 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"icash/internal/blockdev"
+	"icash/internal/cpumodel"
+	"icash/internal/sim"
+)
+
+// testRig bundles a controller with in-memory devices for fast tests.
+type testRig struct {
+	c     *Controller
+	ssd   *blockdev.MemDevice
+	hdd   *blockdev.MemDevice
+	clock *sim.Clock
+}
+
+func newTestRig(t *testing.T, cfg Config) *testRig {
+	t.Helper()
+	clock := sim.NewClock()
+	cpu := cpumodel.NewAccountant(clock)
+	ssd := blockdev.NewMemDevice(cfg.SSDBlocks, 10*sim.Microsecond)
+	hdd := blockdev.NewMemDevice(cfg.VirtualBlocks+cfg.LogBlocks, 100*sim.Microsecond)
+	c, err := New(cfg, ssd, hdd, clock, cpu)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return &testRig{c: c, ssd: ssd, hdd: hdd, clock: clock}
+}
+
+func smallConfig() Config {
+	cfg := NewDefaultConfig(4096, 256, 64<<10, 256<<10)
+	cfg.ScanPeriod = 100
+	cfg.ScanWindow = 400
+	cfg.LogBlocks = 64
+	cfg.FlushPeriodOps = 128
+	cfg.FlushDirtyBytes = 32 << 10
+	return cfg
+}
+
+// genContent produces a block from one of nFamilies base patterns with
+// mutation fraction applied, modelling the paper's content locality.
+func genContent(r *sim.Rand, family int, mutFrac float64) []byte {
+	b := make([]byte, blockdev.BlockSize)
+	base := sim.NewRand(uint64(family) * 977)
+	base.Bytes(b)
+	nMut := int(mutFrac * float64(len(b)))
+	for i := 0; i < nMut; i++ {
+		b[r.Intn(len(b))] = byte(r.Uint64())
+	}
+	return b
+}
+
+// TestReadYourWrites drives a mixed, content-local workload against the
+// controller and checks every read against a shadow model.
+func TestReadYourWrites(t *testing.T) {
+	rig := newTestRig(t, smallConfig())
+	c := rig.c
+	r := sim.NewRand(42)
+	model := make(map[int64][]byte)
+	buf := make([]byte, blockdev.BlockSize)
+
+	const lbaSpace = 1024
+	for op := 0; op < 20000; op++ {
+		lba := int64(r.Intn(lbaSpace))
+		if r.Float64() < 0.4 {
+			content := genContent(r, int(lba%7), 0.05)
+			if _, err := c.WriteBlock(lba, content); err != nil {
+				t.Fatalf("op %d: write lba %d: %v", op, lba, err)
+			}
+			model[lba] = content
+		} else {
+			if _, err := c.ReadBlock(lba, buf); err != nil {
+				t.Fatalf("op %d: read lba %d: %v", op, lba, err)
+			}
+			want, ok := model[lba]
+			if !ok {
+				want = make([]byte, blockdev.BlockSize) // never written: zeros
+			}
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("op %d: read lba %d returned wrong content", op, lba)
+			}
+		}
+	}
+	if c.Stats.WriteDelta == 0 {
+		t.Error("expected some writes to be stored as deltas")
+	}
+	if c.Stats.Scans == 0 {
+		t.Error("expected similarity scans to run")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadYourWritesTinyRAM repeats the shadow-model check under severe
+// RAM pressure so every eviction and reclamation path fires.
+func TestReadYourWritesTinyRAM(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DeltaRAMBytes = 4 << 10
+	cfg.DataRAMBytes = 16 << 10
+	cfg.MetadataBlocks = 64
+	rig := newTestRig(t, cfg)
+	c := rig.c
+	r := sim.NewRand(7)
+	model := make(map[int64][]byte)
+	buf := make([]byte, blockdev.BlockSize)
+
+	for op := 0; op < 10000; op++ {
+		lba := int64(r.Intn(512))
+		if r.Float64() < 0.5 {
+			content := genContent(r, int(lba%5), 0.08)
+			if _, err := c.WriteBlock(lba, content); err != nil {
+				t.Fatalf("op %d: write lba %d: %v", op, lba, err)
+			}
+			model[lba] = content
+		} else {
+			if _, err := c.ReadBlock(lba, buf); err != nil {
+				t.Fatalf("op %d: read lba %d: %v", op, lba, err)
+			}
+			want, ok := model[lba]
+			if !ok {
+				want = make([]byte, blockdev.BlockSize)
+			}
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("op %d: read lba %d returned wrong content (evictions=%d)",
+					op, lba, c.Stats.EvictVBlocks)
+			}
+		}
+	}
+	if c.Stats.EvictVBlocks == 0 {
+		t.Error("expected virtual-block evictions under metadata pressure")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecovery verifies that a controller rebuilt from the devices after
+// a crash (RAM lost) serves every flushed write correctly.
+func TestRecovery(t *testing.T) {
+	cfg := smallConfig()
+	rig := newTestRig(t, cfg)
+	c := rig.c
+	r := sim.NewRand(99)
+	model := make(map[int64][]byte)
+
+	for op := 0; op < 5000; op++ {
+		lba := int64(r.Intn(700))
+		content := genContent(r, int(lba%6), 0.05)
+		if _, err := c.WriteBlock(lba, content); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		model[lba] = content
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	// Crash: rebuild from devices only.
+	clock := sim.NewClock()
+	cpu := cpumodel.NewAccountant(clock)
+	rc, err := Recover(cfg, rig.ssd, rig.hdd, clock, cpu)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	buf := make([]byte, blockdev.BlockSize)
+	for lba, want := range model {
+		if _, err := rc.ReadBlock(lba, buf); err != nil {
+			t.Fatalf("post-recovery read lba %d: %v", lba, err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("post-recovery read lba %d returned wrong content", lba)
+		}
+	}
+}
+
+// TestRecoveryAfterMoreActivity crashes a controller that has gone
+// through scans, evictions and log cleaning, then checks flushed state.
+func TestRecoveryAfterMoreActivity(t *testing.T) {
+	cfg := smallConfig()
+	cfg.LogBlocks = 16 // force log wrap + cleaning
+	cfg.DeltaRAMBytes = 16 << 10
+	rig := newTestRig(t, cfg)
+	c := rig.c
+	r := sim.NewRand(5)
+	model := make(map[int64][]byte)
+	buf := make([]byte, blockdev.BlockSize)
+
+	for op := 0; op < 15000; op++ {
+		lba := int64(r.Intn(400))
+		if r.Float64() < 0.6 {
+			content := genContent(r, int(lba%4), 0.04)
+			if _, err := c.WriteBlock(lba, content); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			model[lba] = content
+		} else if _, err := c.ReadBlock(lba, buf); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	clock := sim.NewClock()
+	rc, err := Recover(cfg, rig.ssd, rig.hdd, clock, cpumodel.NewAccountant(clock))
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	for lba, want := range model {
+		if _, err := rc.ReadBlock(lba, buf); err != nil {
+			t.Fatalf("post-recovery read lba %d: %v", lba, err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("post-recovery read lba %d returned wrong content", lba)
+		}
+	}
+	if c.Stats.LogCleanerRuns == 0 {
+		t.Log("note: log cleaner never ran (log may be large enough)")
+	}
+}
+
+// TestPreload verifies preloaded content is readable and counts as a
+// cold read.
+func TestPreload(t *testing.T) {
+	rig := newTestRig(t, smallConfig())
+	c := rig.c
+	want := genContent(sim.NewRand(1), 3, 0)
+	if err := c.Preload(17, want); err != nil {
+		t.Fatalf("Preload: %v", err)
+	}
+	buf := make([]byte, blockdev.BlockSize)
+	if _, err := c.ReadBlock(17, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("preloaded content mismatch")
+	}
+}
+
+// TestBounds exercises range and buffer validation.
+func TestBounds(t *testing.T) {
+	rig := newTestRig(t, smallConfig())
+	c := rig.c
+	buf := make([]byte, blockdev.BlockSize)
+	if _, err := c.ReadBlock(-1, buf); err == nil {
+		t.Error("negative lba read should fail")
+	}
+	if _, err := c.ReadBlock(c.Blocks(), buf); err == nil {
+		t.Error("out-of-range read should fail")
+	}
+	if _, err := c.WriteBlock(0, buf[:100]); err == nil {
+		t.Error("short buffer write should fail")
+	}
+}
+
+// TestVMImageSharing verifies first-load pairing: cloned VM images at
+// the same offsets should attach to shared references rather than
+// occupying independent space.
+func TestVMImageSharing(t *testing.T) {
+	cfg := smallConfig()
+	cfg.VMImageBlocks = 512 // 4 VM images across the 4096-block disk
+	rig := newTestRig(t, cfg)
+	c := rig.c
+	const imgBlocks = 200
+	r := sim.NewRand(11)
+	// VM 0 is the "native machine": write its image, then read it so the
+	// scan can select references.
+	base := make([][]byte, imgBlocks)
+	for i := range base {
+		base[i] = genContent(r, i, 0)
+	}
+	buf := make([]byte, blockdev.BlockSize)
+	for round := 0; round < 4; round++ {
+		for i := range base {
+			lba := int64(i)
+			if round == 0 {
+				if _, err := c.WriteBlock(lba, base[i]); err != nil {
+					t.Fatal(err)
+				}
+			} else if _, err := c.ReadBlock(lba, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Clone VMs 1..3: preload nearly identical images, then read them.
+	for vm := int64(1); vm <= 3; vm++ {
+		for i := range base {
+			img := append([]byte(nil), base[i]...)
+			img[100] ^= 0xFF // one-byte difference
+			lba := vm*cfg.VMImageBlocks + int64(i)
+			if err := c.Preload(lba, img); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for vm := int64(1); vm <= 3; vm++ {
+		for i := range base {
+			lba := vm*cfg.VMImageBlocks + int64(i)
+			if _, err := c.ReadBlock(lba, buf); err != nil {
+				t.Fatal(err)
+			}
+			want := append([]byte(nil), base[i]...)
+			want[100] ^= 0xFF
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("vm %d block %d content mismatch", vm, i)
+			}
+		}
+	}
+	if c.Stats.FirstLoadPairs == 0 {
+		t.Errorf("expected first-load VM pairing; refs=%d assoc=%d",
+			c.Stats.RefsSelected, c.Stats.AssocFormed)
+	}
+}
+
+// TestKindStringAndStats covers small helpers.
+func TestKindStringAndStats(t *testing.T) {
+	for k, want := range map[Kind]string{Independent: "independent", Reference: "reference", Associate: "associate", Kind(9): "Kind(9)"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	kc := KindCounts{Reference: 1, Associate: 8, Independent: 1}
+	if kc.Total() != 10 {
+		t.Errorf("Total = %d", kc.Total())
+	}
+	ref, assoc, indep := kc.Fractions()
+	if fmt.Sprintf("%.1f %.1f %.1f", ref, assoc, indep) != "0.1 0.8 0.1" {
+		t.Errorf("Fractions = %v %v %v", ref, assoc, indep)
+	}
+}

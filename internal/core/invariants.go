@@ -1,0 +1,144 @@
+package core
+
+import "fmt"
+
+// CheckInvariants validates the controller's cross-structure
+// consistency. Tests call it after randomized operation sequences; it
+// is not part of any hot path.
+//
+// Checked relations:
+//   - the LRU list and the block map contain exactly the same blocks;
+//   - slot reference counts equal the number of attached blocks, and
+//     every live slot is reachable from the slots map;
+//   - free, quarantined and live slots partition the SSD exactly;
+//   - the delta budget equals the segment-rounded sum of resident
+//     deltas, and the data budget equals the resident data blocks;
+//   - logIndex entries point at blocks the cleaner still tracks
+//     (logMeta), and perLba counts match the per-block record census.
+func (c *Controller) CheckInvariants() error {
+	// LRU <-> map agreement.
+	seen := make(map[int64]bool, c.lru.len())
+	n := 0
+	for v := c.lru.head; v != nil; v = v.next {
+		if v.dead {
+			return fmt.Errorf("core: dead block %d still in LRU", v.lba)
+		}
+		if seen[v.lba] {
+			return fmt.Errorf("core: lba %d appears twice in LRU", v.lba)
+		}
+		seen[v.lba] = true
+		if c.blocks[v.lba] != v {
+			return fmt.Errorf("core: LRU block %d not in map", v.lba)
+		}
+		n++
+	}
+	if n != len(c.blocks) || n != c.lru.len() {
+		return fmt.Errorf("core: LRU has %d blocks, map has %d, count says %d",
+			n, len(c.blocks), c.lru.len())
+	}
+
+	// Slot refcounts and partition of SSD slots.
+	refcnt := make(map[*refSlot]int)
+	for v := c.lru.head; v != nil; v = v.next {
+		if v.slotRef != nil {
+			refcnt[v.slotRef]++
+			if c.slots[v.slotRef.index] != v.slotRef {
+				return fmt.Errorf("core: lba %d attached to unregistered slot %d",
+					v.lba, v.slotRef.index)
+			}
+		}
+	}
+	for idx, s := range c.slots {
+		if s.index != idx {
+			return fmt.Errorf("core: slot map key %d holds slot %d", idx, s.index)
+		}
+		if refcnt[s] != s.refcnt {
+			return fmt.Errorf("core: slot %d refcnt=%d, actual attached=%d",
+				s.index, s.refcnt, refcnt[s])
+		}
+		if s.refcnt <= 0 {
+			return fmt.Errorf("core: live slot %d with refcnt %d", s.index, s.refcnt)
+		}
+	}
+	used := make(map[int64]string)
+	for idx := range c.slots {
+		used[idx] = "live"
+	}
+	for _, idx := range c.freeSlots {
+		if prev, ok := used[idx]; ok {
+			return fmt.Errorf("core: slot %d both free and %s", idx, prev)
+		}
+		used[idx] = "free"
+	}
+	for _, idx := range c.quarantine {
+		if prev, ok := used[idx]; ok {
+			return fmt.Errorf("core: slot %d both quarantined and %s", idx, prev)
+		}
+		used[idx] = "quarantined"
+	}
+	if int64(len(used)) != c.cfg.SSDBlocks {
+		return fmt.Errorf("core: %d slots accounted, SSD has %d", len(used), c.cfg.SSDBlocks)
+	}
+
+	// RAM budgets.
+	var deltaBytes, dataBytes int64
+	for v := c.lru.head; v != nil; v = v.next {
+		if v.deltaRAM != nil {
+			deltaBytes += c.segBytes(len(v.deltaRAM))
+		}
+		if v.dataRAM != nil {
+			dataBytes += int64(len(v.dataRAM))
+		}
+	}
+	if deltaBytes != c.deltaBudget.Used() {
+		return fmt.Errorf("core: delta budget says %d, resident deltas sum to %d",
+			c.deltaBudget.Used(), deltaBytes)
+	}
+	if dataBytes != c.dataBudget.Used() {
+		return fmt.Errorf("core: data budget says %d, resident data sums to %d",
+			c.dataBudget.Used(), dataBytes)
+	}
+
+	// Log index vs per-block metadata census.
+	census := make(map[int64]int)
+	for block, metas := range c.logMeta {
+		for i := range metas {
+			census[metas[i].lba]++
+			if metas[i].kind != entryDelta && metas[i].kind != entryPointer && metas[i].kind != entryTombstone {
+				return fmt.Errorf("core: log block %d has record of kind %d", block, metas[i].kind)
+			}
+		}
+	}
+	for lba, cnt := range c.perLba {
+		if census[lba] != cnt {
+			return fmt.Errorf("core: perLba[%d]=%d, census says %d", lba, cnt, census[lba])
+		}
+	}
+	for lba, cnt := range census {
+		if c.perLba[lba] != cnt {
+			return fmt.Errorf("core: census[%d]=%d, perLba says %d", lba, cnt, c.perLba[lba])
+		}
+	}
+	for lba, rec := range c.logIndex {
+		metas := c.logMeta[rec.block]
+		found := false
+		for i := range metas {
+			if metas[i].lba == lba && metas[i].seq == rec.seq && metas[i].kind == rec.kind {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("core: logIndex[%d] points at missing record (block %d seq %d)",
+				lba, rec.block, rec.seq)
+		}
+	}
+
+	// Dirty-queue membership flags.
+	for _, v := range c.dirtyQ {
+		if v.inDirty && v.dead {
+			return fmt.Errorf("core: dead block %d marked dirty", v.lba)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"fmt"
+
+	"icash/internal/blockdev"
+	"icash/internal/delta"
+	"icash/internal/ram"
+	"icash/internal/sig"
+	"icash/internal/sim"
+)
+
+// readPath classifies how a read was served, for statistics.
+type readPath uint8
+
+const (
+	pathRAM readPath = iota
+	pathSSD
+	pathSSDLog
+	pathHome
+)
+
+// periodic runs the per-I/O housekeeping: similarity scans every
+// ScanPeriod I/Os (paper §4.2), periodic flushing, and heatmap decay.
+func (c *Controller) periodic() error {
+	c.opCount++
+	if c.cfg.HeatmapDecayOps > 0 && c.opCount%int64(c.cfg.HeatmapDecayOps) == 0 {
+		c.heat.Decay()
+	}
+	if c.opCount%int64(c.cfg.ScanPeriod) == 0 {
+		if err := c.scan(); err != nil {
+			return err
+		}
+	}
+	return c.maybeFlush()
+}
+
+// touchLRU marks v most recently used. A reference is kept ahead of its
+// associates in the queue because serving an associate also touches its
+// reference (paper §4.3).
+func (c *Controller) touchLRU(v *vblock) {
+	c.lru.moveToFront(v)
+	if v.kind == Associate && v.slotRef != nil && v.slotRef.donor >= 0 {
+		if donor, ok := c.blocks[v.slotRef.donor]; ok && donor.slotRef == v.slotRef {
+			c.lru.moveToFront(donor)
+		}
+	}
+}
+
+// materialize returns v's current content and the synchronous latency
+// of producing it. When background is true, device time is accounted to
+// background stats instead. The returned slice must not be retained or
+// mutated by callers.
+func (c *Controller) materialize(v *vblock, background bool) ([]byte, sim.Duration, readPath, error) {
+	if v.dataRAM != nil {
+		return v.dataRAM, ram.AccessLatency, pathRAM, nil
+	}
+	if v.slotRef != nil {
+		if v.ssdCurrent {
+			// Write-through block or pristine donor: the slot holds the
+			// current content directly.
+			content, lat, err := c.slotContent(v.slotRef, background)
+			return content, lat, pathSSD, err
+		}
+		// Reference + delta. Fetch the delta (RAM, else one log read
+		// that prefetches its whole packed block), then the base.
+		var lat sim.Duration
+		path := pathSSD
+		if v.deltaRAM == nil {
+			rec, ok := c.logIndex[v.lba]
+			if !ok || rec.kind != entryDelta {
+				return nil, 0, pathSSD, fmt.Errorf("core: lba %d: delta lost (no RAM copy, no log record)", v.lba)
+			}
+			d, err := c.loadDeltaBlock(rec.block)
+			if err != nil {
+				return nil, 0, pathSSD, err
+			}
+			if background {
+				c.Stats.BackgroundHDDTime += d
+			} else {
+				lat += d
+			}
+			path = pathSSDLog
+		}
+		base, d, err := c.slotContent(v.slotRef, background)
+		if err != nil {
+			return nil, 0, path, err
+		}
+		lat += d
+		var enc []byte
+		if v.deltaRAM != nil {
+			enc = v.deltaRAM
+		} else {
+			// loadDeltaBlock may have failed to cache under budget
+			// pressure; decode straight from the packed block copy.
+			enc2, err := c.deltaFromLog(v.lba)
+			if err != nil {
+				return nil, 0, path, err
+			}
+			enc = enc2
+		}
+		content, err := delta.Decode(base, enc)
+		if err != nil {
+			return nil, 0, path, fmt.Errorf("core: lba %d: %w", v.lba, err)
+		}
+		c.cpu.ChargeStorage(c.costs.DeltaDecode)
+		c.Stats.DecodeOps++
+		if !background {
+			lat += c.costs.DeltaDecode
+		}
+		return content, lat, path, nil
+	}
+	if v.hddHome {
+		buf := make([]byte, blockdev.BlockSize)
+		d, err := c.hdd.ReadBlock(v.lba, buf)
+		if err != nil {
+			return nil, 0, pathHome, fmt.Errorf("core: home read lba %d: %w", v.lba, err)
+		}
+		if background {
+			c.Stats.BackgroundHDDTime += d
+			d = 0
+		}
+		return buf, d, pathHome, nil
+	}
+	return nil, 0, pathHome, fmt.Errorf("core: lba %d has no recoverable content", v.lba)
+}
+
+// deltaFromLog re-reads v's delta bytes from its durable log record
+// (slow path used only when the RAM budget rejected the prefetch).
+func (c *Controller) deltaFromLog(lba int64) ([]byte, error) {
+	rec, ok := c.logIndex[lba]
+	if !ok || rec.kind != entryDelta {
+		return nil, fmt.Errorf("core: lba %d: no durable delta record", lba)
+	}
+	buf := make([]byte, blockdev.BlockSize)
+	d, err := c.hdd.ReadBlock(c.cfg.VirtualBlocks+rec.block, buf)
+	if err != nil {
+		return nil, err
+	}
+	c.Stats.BackgroundHDDTime += d
+	entries, err := decodeLogBlock(buf)
+	if err != nil {
+		return nil, err
+	}
+	for i := range entries {
+		if entries[i].seq == rec.seq && entries[i].lba == lba {
+			return entries[i].delta, nil
+		}
+	}
+	return nil, fmt.Errorf("core: lba %d: log record vanished", lba)
+}
+
+// ReadBlock services a host read (paper Figure 1c: combine the delta
+// with its reference block).
+func (c *Controller) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
+	if err := blockdev.CheckRange(lba, c.cfg.VirtualBlocks); err != nil {
+		return 0, err
+	}
+	if err := blockdev.CheckBuffer(buf); err != nil {
+		return 0, err
+	}
+	if err := c.periodic(); err != nil {
+		return 0, err
+	}
+	c.cpu.ChargeStorage(c.costs.PerRequest)
+
+	v, lat, err := c.getOrLoad(lba, false)
+	if err != nil {
+		return 0, err
+	}
+	c.pinned = v
+	defer func() { c.pinned = nil }()
+	content, lat2, path, err := c.materialize(v, false)
+	if err != nil {
+		return 0, err
+	}
+	lat += lat2
+	copy(buf, content)
+	switch path {
+	case pathRAM:
+		c.Stats.ReadRAMHits++
+	case pathSSD:
+		c.Stats.ReadSSDHits++
+	case pathSSDLog:
+		// counted by loadDeltaBlock
+	case pathHome:
+		// counted by getOrLoad for cold misses; re-reads after data
+		// eviction land here too.
+	}
+	// Cache the materialized content for future hits.
+	if v.dataRAM == nil {
+		if err := c.cacheData(v, content, false); err != nil {
+			return 0, err
+		}
+	}
+	c.heat.Record(v.sigv)
+	c.touchLRU(v)
+	if lat == 0 {
+		lat = ram.AccessLatency
+	}
+	c.Stats.NoteRead(blockdev.BlockSize, lat)
+	return lat, nil
+}
+
+// WriteBlock services a host write (paper Figure 1b: derive the delta
+// with respect to the reference block). Delta derivation is overlapped
+// with I/O processing (§5.1), so an accepted delta write completes at
+// RAM speed; the encode cost is charged to the CPU model.
+func (c *Controller) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
+	if err := blockdev.CheckRange(lba, c.cfg.VirtualBlocks); err != nil {
+		return 0, err
+	}
+	if err := blockdev.CheckBuffer(buf); err != nil {
+		return 0, err
+	}
+	if err := c.periodic(); err != nil {
+		return 0, err
+	}
+	c.cpu.ChargeStorage(c.costs.PerRequest)
+
+	v, _, err := c.getOrLoad(lba, true)
+	if err != nil {
+		return 0, err
+	}
+	c.pinned = v
+	defer func() { c.pinned = nil }()
+	newSig := sig.Compute(buf)
+	c.cpu.ChargeStorage(c.costs.Signature)
+	c.heat.Record(newSig)
+
+	var lat sim.Duration
+	if v.slotRef != nil {
+		lat, err = c.writeAttached(v, buf, newSig)
+	} else {
+		lat, err = c.writeIndependent(v, buf, newSig)
+	}
+	if err != nil {
+		return 0, err
+	}
+	c.touchLRU(v)
+	c.Stats.NoteWrite(blockdev.BlockSize, lat)
+	return lat, nil
+}
+
+// writeAttached updates a block bound to an SSD slot: re-derive the
+// delta against the immutable slot content; oversized deltas write
+// through to the SSD (paper §5.3).
+func (c *Controller) writeAttached(v *vblock, buf []byte, newSig sig.Signature) (sim.Duration, error) {
+	base, _, err := c.slotContent(v.slotRef, true)
+	if err != nil {
+		return 0, err
+	}
+	c.cpu.ChargeStorage(c.costs.DeltaEncode)
+	c.Stats.EncodeOps++
+	enc, ok := delta.Encode(buf, base, c.cfg.DeltaThreshold)
+	if ok && c.storeDelta(v, enc, true) {
+		if v.slotRef.donor == v.lba {
+			v.kind = Reference
+			v.ssdCurrent = false // the reference now carries a self-delta
+		} else {
+			v.kind = Associate
+			// The signature keeps referring to the reference content
+			// (paper §4.3): the association, not the new bytes, defines
+			// the block's identity in the heatmap.
+		}
+		v.hddHome = false
+		if err := c.cacheData(v, buf, false); err != nil {
+			return 0, err
+		}
+		c.Stats.WriteDelta++
+		c.Stats.NoteDelta(len(enc))
+		if err := c.maybeFlush(); err != nil {
+			return 0, err
+		}
+		return ram.AccessLatency, nil
+	}
+	// Delta too large (or no delta RAM left): direct SSD write.
+	c.Stats.ScanDeltaRejects++
+	v.sigv = newSig
+	return c.writeThroughSSD(v, buf)
+}
+
+// writeIndependent updates an unattached block. Per Figure 1b the write
+// path always performs similarity detection first: if a reference with
+// a close signature accepts a small delta, the block attaches; if the
+// delta would exceed the threshold (or no reference matches), the new
+// data is written directly to the SSD, releasing delta-buffer space
+// (§5.3) — this is the source of I-CASH's residual SSD writes in
+// Table 6. Only when no SSD slot can be found does the write stay in a
+// RAM data block.
+func (c *Controller) writeIndependent(v *vblock, buf []byte, newSig sig.Signature) (sim.Duration, error) {
+	v.sigv = newSig // independents re-sign on every write (paper §4.3)
+	if s := c.findSimilarSlot(newSig); s != nil {
+		base, _, err := c.slotContent(s, true)
+		if err != nil {
+			return 0, err
+		}
+		c.cpu.ChargeStorage(c.costs.DeltaEncode)
+		c.Stats.EncodeOps++
+		enc, ok := delta.Encode(buf, base, c.cfg.DeltaThreshold)
+		if ok && c.storeDelta(v, enc, true) {
+			c.attachSlot(v, s)
+			c.promoteDonor(s)
+			v.kind = Associate
+			v.sigv = s.sigv
+			v.hddHome = false
+			if err := c.cacheData(v, buf, false); err != nil {
+				return 0, err
+			}
+			c.Stats.WriteDelta++
+			c.Stats.AssocFormed++
+			c.Stats.NoteDelta(len(enc))
+			if err := c.maybeFlush(); err != nil {
+				return 0, err
+			}
+			return ram.AccessLatency, nil
+		}
+		c.Stats.ScanDeltaRejects++
+	}
+	// No delta representation possible: direct SSD write (§5.3).
+	if len(c.freeSlots) > 0 || c.canReclaimSlot() {
+		return c.writeThroughSSD(v, buf)
+	}
+	v.kind = Independent
+	v.hddHome = false
+	if err := c.cacheData(v, buf, true); err != nil {
+		return 0, err
+	}
+	c.Stats.WriteIndependent++
+	return ram.AccessLatency, nil
+}
+
+// tryFirstLoadPair attempts first-load similarity pairing (paper §4.2
+// case 1): a freshly loaded block is compared against blocks at the
+// same VM-image offset. A candidate that is already attached shares its
+// reference slot; a similar *independent* candidate — the native
+// machine's block before any clone touched it — is promoted to a
+// reference on the spot, which is how VM-image clones bootstrap into
+// reference + tiny delta without waiting for popularity to accumulate.
+func (c *Controller) tryFirstLoadPair(v *vblock) {
+	key := c.offsetKey(v.lba)
+	if key < 0 || v.dataRAM == nil {
+		return
+	}
+	const maxCandidates = 3
+	tried := 0
+	for _, cand := range c.sameOffset[key] {
+		if cand == v || cand.dead {
+			continue
+		}
+		if sig.Distance(v.sigv, cand.sigv) > c.cfg.MaxSigDistance {
+			continue
+		}
+		if tried++; tried > maxCandidates {
+			return
+		}
+		s := cand.slotRef
+		if s == nil {
+			// Independent sibling: promote it to a reference first.
+			content, _, _, err := c.materialize(cand, true)
+			if err != nil {
+				continue
+			}
+			s, err = c.installReference(cand, content)
+			if err != nil || s == nil {
+				continue
+			}
+		} else if cand.kind == Independent && !cand.ssdCurrent {
+			continue
+		}
+		base, _, err := c.slotContent(s, true)
+		if err != nil {
+			continue
+		}
+		c.cpu.ChargeStorage(c.costs.DeltaEncode)
+		c.Stats.EncodeOps++
+		enc, ok := delta.Encode(v.dataRAM, base, c.cfg.DeltaThreshold)
+		if !ok {
+			c.Stats.ScanDeltaRejects++
+			continue
+		}
+		if !c.storeDelta(v, enc, true) {
+			return
+		}
+		c.attachSlot(v, s)
+		c.promoteDonor(s)
+		v.kind = Associate
+		v.sigv = s.sigv // identity now refers to the reference
+		c.Stats.FirstLoadPairs++
+		c.Stats.AssocFormed++
+		c.Stats.NoteDelta(len(enc))
+		return
+	}
+}
+
+// Preload installs content at lba's home location without touching
+// timing, statistics or controller metadata. Harnesses use it to lay
+// down the initial data set, mirroring a machine whose disks already
+// hold the benchmark data.
+func (c *Controller) Preload(lba int64, content []byte) error {
+	if err := blockdev.CheckRange(lba, c.cfg.VirtualBlocks); err != nil {
+		return err
+	}
+	p, ok := c.hdd.(blockdev.Preloader)
+	if !ok {
+		return fmt.Errorf("core: backing HDD does not support preloading")
+	}
+	return p.Preload(lba, content)
+}
+
+var _ blockdev.Device = (*Controller)(nil)

@@ -1,0 +1,494 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"icash/internal/blockdev"
+	"icash/internal/sim"
+)
+
+// The HDD delta log (paper §3.3) is a circular region of 4 KB blocks
+// following the primary region. Each log block packs many records so
+// that one sequential HDD write commits many I/Os' worth of deltas and
+// one HDD read on a miss prefetches many deltas at once.
+//
+// On-disk log block layout (little endian):
+//
+//	[0:4)  magic "ICLG"
+//	[4:6)  record count
+//	then per record:
+//	    kind   byte   (1 delta, 2 ssd pointer, 3 tombstone)
+//	    flags  byte   (bit 0: donor — the LBA is the slot's donor)
+//	    lba    int64
+//	    seq    uint64
+//	    slot   int64  (delta: reference slot; pointer: content slot)
+//	    dlen   uint16 (delta bytes following; 0 for pointer/tombstone)
+//	    delta  [dlen]byte
+//
+// Recovery scans the region and applies, per LBA, the record with the
+// highest sequence number: delta → attach to slot, pointer → content in
+// SSD, tombstone → the HDD home location is authoritative.
+
+type entryKind uint8
+
+const (
+	entryDelta     entryKind = 1
+	entryPointer   entryKind = 2
+	entryTombstone entryKind = 3
+)
+
+const (
+	logMagic      = "ICLG"
+	logHeaderSize = 6
+	entryHeadSize = 1 + 1 + 8 + 8 + 8 + 2
+	// flagDonor marks the record's LBA as the donor of its slot.
+	flagDonor byte = 1 << 0
+	// flagReference marks a pointer record installed as a reference by
+	// the scan (vs. a threshold write-through).
+	flagReference byte = 1 << 1
+)
+
+// logEntry is a record queued for packing. seq is assigned at pack time.
+type logEntry struct {
+	kind  entryKind
+	flags byte
+	lba   int64
+	seq   uint64
+	slot  int64
+	delta []byte
+}
+
+// entryMeta is the RAM-resident metadata the cleaner keeps per packed
+// record (no delta bytes).
+type entryMeta struct {
+	kind entryKind
+	lba  int64
+	seq  uint64
+	slot int64
+	size int32 // packed size including header
+}
+
+// logRec is the logIndex value: where the newest durable record for an
+// LBA lives.
+type logRec struct {
+	block int64
+	seq   uint64
+	kind  entryKind
+	size  int32
+}
+
+// setLogIndex updates the newest-record index for lba, maintaining the
+// live-byte estimate used for log-pressure shedding.
+func (c *Controller) setLogIndex(lba int64, rec logRec) {
+	if old, ok := c.logIndex[lba]; ok {
+		c.liveLogBytes -= int64(old.size)
+	}
+	c.logIndex[lba] = rec
+	c.liveLogBytes += int64(rec.size)
+}
+
+// clearLogIndex removes the newest-record index entry for lba.
+func (c *Controller) clearLogIndex(lba int64) {
+	if old, ok := c.logIndex[lba]; ok {
+		c.liveLogBytes -= int64(old.size)
+		delete(c.logIndex, lba)
+	}
+}
+
+// logCapacityBytes is the usable payload capacity of the log region,
+// with one block of slack for the write frontier.
+func (c *Controller) logCapacityBytes() int64 {
+	return (c.cfg.LogBlocks - 1) * int64(blockdev.BlockSize-logHeaderSize)
+}
+
+// shedLogPressure keeps the live-record volume within the log capacity
+// by writing the coldest delta-carrying blocks back to their home
+// locations (their records become tombstones). Without shedding a
+// too-small log would livelock in the cleaner.
+func (c *Controller) shedLogPressure(pendingBytes int64) error {
+	limit := c.logCapacityBytes() * 3 / 4
+	projected := c.liveLogBytes + pendingBytes
+	for projected > limit {
+		var victim *vblock
+		for v := c.lru.tail; v != nil; v = v.prev {
+			if v == c.pinned || v.kind == Reference {
+				continue
+			}
+			if v.deltaRAM != nil || c.deltaLogged(v) {
+				victim = v
+				break
+			}
+		}
+		if victim == nil {
+			return nil
+		}
+		if victim.deltaDirty && victim.deltaRAM != nil {
+			projected -= int64(entryHeadSize + len(victim.deltaRAM))
+		}
+		if rec, ok := c.logIndex[victim.lba]; ok && rec.kind == entryDelta {
+			projected -= int64(rec.size)
+		}
+		projected += entryHeadSize // the tombstone
+		if err := c.evictToHome(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nextSeq hands out monotonically increasing record sequence numbers.
+func (c *Controller) nextSeq() uint64 {
+	c.logSeq++
+	return c.logSeq
+}
+
+// queueControl appends a control record (pointer/tombstone) for the next
+// flush.
+func (c *Controller) queueControl(e logEntry) {
+	c.control = append(c.control, e)
+}
+
+// maybeFlush flushes when dirty volume or the periodic op counter says
+// so (paper §3.3: the flush interval is a tunable reliability knob).
+func (c *Controller) maybeFlush() error {
+	if c.dirtyBytes >= c.cfg.FlushDirtyBytes {
+		return c.flushDeltas()
+	}
+	if c.cfg.FlushPeriodOps > 0 && c.opCount%int64(c.cfg.FlushPeriodOps) == 0 &&
+		(len(c.dirtyQ) > 0 || len(c.control) > 0) {
+		return c.flushDeltas()
+	}
+	return nil
+}
+
+// entrySize returns the packed size of e.
+func entrySize(e *logEntry) int { return entryHeadSize + len(e.delta) }
+
+// flushDeltas packs every pending dirty delta and control record into
+// log blocks and appends them sequentially to the HDD log region. Log
+// blocks about to be overwritten are cleaned first: still-live records
+// are re-queued (LFS-style). Quarantined SSD slots become reusable once
+// the flush commits their tombstones.
+func (c *Controller) flushDeltas() error {
+	// Relieve log pressure first: if the live volume plus this flush
+	// would crowd the circular log, push the coldest blocks home.
+	var pendingBytes int64
+	for i := range c.control {
+		pendingBytes += int64(entrySize(&c.control[i]))
+	}
+	for _, v := range c.dirtyQ {
+		if v.inDirty && v.deltaDirty && v.deltaRAM != nil {
+			pendingBytes += int64(entryHeadSize + len(v.deltaRAM))
+		}
+	}
+	if err := c.shedLogPressure(pendingBytes); err != nil {
+		return err
+	}
+
+	// Snapshot pending work. Records rescued by cleaning are appended
+	// to this same queue while we drain it.
+	pending := make([]logEntry, 0, len(c.control)+len(c.dirtyQ))
+	pending = append(pending, c.control...)
+	c.control = c.control[:0]
+	for _, v := range c.dirtyQ {
+		if !v.inDirty || !v.deltaDirty || v.deltaRAM == nil || v.slotRef == nil {
+			if v.inDirty {
+				v.inDirty = false
+			}
+			continue
+		}
+		v.inDirty = false
+		var flags byte
+		if v.slotRef.donor == v.lba {
+			flags |= flagDonor
+		}
+		pending = append(pending, logEntry{
+			kind:  entryDelta,
+			flags: flags,
+			lba:   v.lba,
+			slot:  v.slotRef.index,
+			delta: v.deltaRAM,
+		})
+	}
+	c.dirtyQ = c.dirtyQ[:0]
+	c.dirtyBytes = 0
+	if len(pending) == 0 {
+		return nil
+	}
+	c.Stats.FlushRuns++
+
+	buf := make([]byte, blockdev.BlockSize)
+	guard := 4 * c.cfg.LogBlocks // progress guard against a too-small log
+	for len(pending) > 0 {
+		if guard--; guard < 0 {
+			return fmt.Errorf("core: delta log too small for live delta volume (LogBlocks=%d)", c.cfg.LogBlocks)
+		}
+		target := c.logHead
+		rescued, err := c.cleanLogBlock(target)
+		if err != nil {
+			return err
+		}
+		pending = append(pending, rescued...)
+
+		// Pack records into one block.
+		n := 0
+		used := logHeaderSize
+		metas := make([]entryMeta, 0, 8)
+		for n < len(pending) {
+			e := &pending[n]
+			sz := entrySize(e)
+			if used+sz > blockdev.BlockSize {
+				break
+			}
+			e.seq = c.nextSeq()
+			used += sz
+			metas = append(metas, entryMeta{kind: e.kind, lba: e.lba, seq: e.seq, slot: e.slot, size: int32(sz)})
+			n++
+		}
+		if n == 0 {
+			return fmt.Errorf("core: delta record larger than a log block")
+		}
+		encodeLogBlock(buf, pending[:n])
+		d, err := c.hdd.WriteBlock(c.cfg.VirtualBlocks+target, buf)
+		if err != nil {
+			return fmt.Errorf("core: log write: %w", err)
+		}
+		c.Stats.BackgroundHDDTime += d
+		c.Stats.LogBlocksWritten++
+
+		// Commit indexes.
+		c.logMeta[target] = metas
+		for i := range metas {
+			m := &metas[i]
+			c.perLba[m.lba]++
+			dbg(m.lba, "commit kind=%d seq=%d block=%d", m.kind, m.seq, target)
+			c.setLogIndex(m.lba, logRec{block: target, seq: m.seq, kind: m.kind, size: m.size})
+			if m.kind == entryDelta {
+				c.Stats.DeltasPacked++
+				if v, ok := c.blocks[m.lba]; ok {
+					v.deltaDirty = false
+				}
+			}
+		}
+		pending = pending[n:]
+		c.logHead = (c.logHead + 1) % c.cfg.LogBlocks
+	}
+
+	// Tombstones for detached slots are now durable: release quarantine.
+	if len(c.quarantine) > 0 {
+		c.freeSlots = append(c.freeSlots, c.quarantine...)
+		c.quarantine = c.quarantine[:0]
+	}
+	return nil
+}
+
+// cleanLogBlock prepares log block b for overwriting: every record in it
+// is forgotten, and records that are still the newest for their LBA are
+// rescued — re-queued so they land in a fresh block. Returns the rescue
+// queue.
+func (c *Controller) cleanLogBlock(b int64) ([]logEntry, error) {
+	metas := c.logMeta[b]
+	if len(metas) == 0 {
+		return nil, nil
+	}
+	var rescued []logEntry
+	var blockData []byte // lazily read only if delta bytes are needed
+	readBlock := func() error {
+		if blockData != nil {
+			return nil
+		}
+		blockData = make([]byte, blockdev.BlockSize)
+		d, err := c.hdd.ReadBlock(c.cfg.VirtualBlocks+b, blockData)
+		if err != nil {
+			return fmt.Errorf("core: log clean read: %w", err)
+		}
+		c.Stats.BackgroundHDDTime += d
+		return nil
+	}
+	cleaned := false
+	for i := range metas {
+		m := &metas[i]
+		c.perLba[m.lba]--
+		if c.perLba[m.lba] <= 0 {
+			delete(c.perLba, m.lba)
+		}
+		rec, ok := c.logIndex[m.lba]
+		if !ok || rec.block != b || rec.seq != m.seq {
+			continue // superseded: dead record
+		}
+		dbg(m.lba, "clean live rec kind=%d seq=%d block=%d", m.kind, m.seq, b)
+		c.clearLogIndex(m.lba)
+		v := c.blocks[m.lba]
+		switch m.kind {
+		case entryDelta:
+			// Live only if the block still decodes against this slot
+			// and has no newer pending delta.
+			if v == nil || v.slotRef == nil || v.slotRef.index != m.slot || v.ssdCurrent {
+				continue
+			}
+			if v.deltaDirty {
+				continue // a newer delta is already pending
+			}
+			var bytes []byte
+			if v.deltaRAM != nil {
+				bytes = v.deltaRAM
+			} else {
+				if err := readBlock(); err != nil {
+					return rescued, err
+				}
+				entries, err := decodeLogBlock(blockData)
+				if err != nil {
+					return rescued, fmt.Errorf("core: log block %d: %w", b, err)
+				}
+				for j := range entries {
+					if entries[j].seq == m.seq {
+						bytes = entries[j].delta
+						break
+					}
+				}
+				if bytes == nil {
+					return rescued, fmt.Errorf("core: log block %d missing seq %d", b, m.seq)
+				}
+			}
+			var flags byte
+			if v.slotRef.donor == v.lba {
+				flags |= flagDonor
+			}
+			rescued = append(rescued, logEntry{kind: entryDelta, flags: flags, lba: m.lba, slot: m.slot, delta: bytes})
+			c.Stats.DeltasRescued++
+			cleaned = true
+		case entryPointer:
+			if v == nil || v.slotRef == nil || v.slotRef.index != m.slot || !v.ssdCurrent {
+				continue
+			}
+			rescued = append(rescued, logEntry{kind: entryPointer, lba: m.lba, slot: m.slot})
+			cleaned = true
+		case entryTombstone:
+			// Recovery replays the newest *raw* record per LBA, so a
+			// tombstone must outlive every older record for its LBA —
+			// even if the block is alive in RAM right now (RAM state
+			// does not survive the crash; the log must stand alone).
+			if c.perLba[m.lba] > 0 {
+				rescued = append(rescued, logEntry{kind: entryTombstone, lba: m.lba})
+				cleaned = true
+			}
+		}
+	}
+	delete(c.logMeta, b)
+	if cleaned {
+		c.Stats.LogCleanerRuns++
+	}
+	return rescued, nil
+}
+
+// encodeLogBlock serializes records into buf (4 KB, zero padded).
+func encodeLogBlock(buf []byte, entries []logEntry) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	copy(buf[0:4], logMagic)
+	binary.LittleEndian.PutUint16(buf[4:6], uint16(len(entries)))
+	off := logHeaderSize
+	for i := range entries {
+		e := &entries[i]
+		buf[off] = byte(e.kind)
+		buf[off+1] = e.flags
+		binary.LittleEndian.PutUint64(buf[off+2:], uint64(e.lba))
+		binary.LittleEndian.PutUint64(buf[off+10:], e.seq)
+		binary.LittleEndian.PutUint64(buf[off+18:], uint64(e.slot))
+		binary.LittleEndian.PutUint16(buf[off+26:], uint16(len(e.delta)))
+		off += entryHeadSize
+		copy(buf[off:], e.delta)
+		off += len(e.delta)
+	}
+}
+
+// decodeLogBlock parses a log block; a block that never held log data
+// (zeroes) yields no entries.
+func decodeLogBlock(buf []byte) ([]logEntry, error) {
+	if string(buf[0:4]) != logMagic {
+		return nil, nil
+	}
+	count := int(binary.LittleEndian.Uint16(buf[4:6]))
+	entries := make([]logEntry, 0, count)
+	off := logHeaderSize
+	for i := 0; i < count; i++ {
+		if off+entryHeadSize > len(buf) {
+			return nil, fmt.Errorf("log record %d overruns block", i)
+		}
+		e := logEntry{
+			kind:  entryKind(buf[off]),
+			flags: buf[off+1],
+			lba:   int64(binary.LittleEndian.Uint64(buf[off+2:])),
+			seq:   binary.LittleEndian.Uint64(buf[off+10:]),
+			slot:  int64(binary.LittleEndian.Uint64(buf[off+18:])),
+		}
+		dlen := int(binary.LittleEndian.Uint16(buf[off+26:]))
+		off += entryHeadSize
+		if off+dlen > len(buf) {
+			return nil, fmt.Errorf("log record %d delta overruns block", i)
+		}
+		if dlen > 0 {
+			e.delta = append([]byte(nil), buf[off:off+dlen]...)
+			off += dlen
+		}
+		switch e.kind {
+		case entryDelta, entryPointer, entryTombstone:
+		default:
+			return nil, fmt.Errorf("log record %d has unknown kind %d", i, e.kind)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// loadDeltaBlock services a read-path miss on a delta that lives only in
+// the log: one HDD read fetches the packed block, and every still-live
+// delta in it is prefetched into RAM — the paper's "one HDD operation
+// yields many I/Os" effect. Returns the synchronous latency.
+func (c *Controller) loadDeltaBlock(b int64) (sim.Duration, error) {
+	buf := make([]byte, blockdev.BlockSize)
+	d, err := c.hdd.ReadBlock(c.cfg.VirtualBlocks+b, buf)
+	if err != nil {
+		return 0, fmt.Errorf("core: log read: %w", err)
+	}
+	c.Stats.ReadLogLoads++
+	entries, err := decodeLogBlock(buf)
+	if err != nil {
+		return d, fmt.Errorf("core: log block %d: %w", b, err)
+	}
+	for i := range entries {
+		e := &entries[i]
+		if e.kind != entryDelta {
+			continue
+		}
+		rec, ok := c.logIndex[e.lba]
+		if !ok || rec.block != b || rec.seq != e.seq {
+			continue
+		}
+		v, ok := c.blocks[e.lba]
+		if !ok || v.slotRef == nil || v.slotRef.index != e.slot || v.deltaRAM != nil {
+			continue
+		}
+		// Best effort: install clean; on budget failure skip (the delta
+		// stays log-resident). Never reclaims — prefetch must not evict.
+		c.storeDeltaBestEffort(v, e.delta, false)
+	}
+	return d, nil
+}
+
+// Flush establishes a full consistency point: dirty independent data
+// blocks are written back to their home locations, then all pending
+// deltas and control records are committed to the log. After Flush, a
+// crash loses nothing.
+func (c *Controller) Flush() error {
+	for v := c.lru.head; v != nil; v = v.next {
+		if v.dataDirty && v.dataRAM != nil {
+			if err := c.writeHome(v, v.dataRAM); err != nil {
+				return err
+			}
+		}
+	}
+	return c.flushDeltas()
+}

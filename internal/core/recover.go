@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"icash/internal/blockdev"
+	"icash/internal/cpumodel"
+	"icash/internal/sig"
+	"icash/internal/sim"
+)
+
+// Recover rebuilds a controller after a crash (paper §3.3): RAM contents
+// are gone, but the SSD reference store and the HDD (home region + delta
+// log) survive. The log region is scanned sequentially; for every LBA
+// the record with the highest sequence number wins:
+//
+//	delta     → the block is an associate/reference of an SSD slot plus
+//	            the logged delta;
+//	pointer   → the block's current content sits in an SSD slot;
+//	tombstone → the HDD home location is authoritative (nothing to do).
+//
+// Writes that were only in the RAM delta buffer at crash time are lost;
+// that is the bounded reliability window the flush interval tunes.
+func Recover(cfg Config, ssdDev, hddDev blockdev.Device, clock *sim.Clock, cpu *cpumodel.Accountant) (*Controller, error) {
+	c, err := New(cfg, ssdDev, hddDev, clock, cpu)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.replayLog(); err != nil {
+		return nil, err
+	}
+	if err := c.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("core: post-recovery state inconsistent: %w", err)
+	}
+	return c, nil
+}
+
+// replayLog scans the whole log region and reconstructs metadata.
+func (c *Controller) replayLog() error {
+	type newest struct {
+		e     logEntry
+		block int64
+	}
+	latest := make(map[int64]newest)
+	var maxSeq uint64
+	var maxSeqBlock int64
+	buf := make([]byte, blockdev.BlockSize)
+	for b := int64(0); b < c.cfg.LogBlocks; b++ {
+		d, err := c.hdd.ReadBlock(c.cfg.VirtualBlocks+b, buf)
+		if err != nil {
+			return fmt.Errorf("core: recovery read log block %d: %w", b, err)
+		}
+		c.Stats.BackgroundHDDTime += d
+		entries, err := decodeLogBlock(buf)
+		if err != nil {
+			return fmt.Errorf("core: recovery log block %d: %w", b, err)
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		metas := make([]entryMeta, 0, len(entries))
+		for i := range entries {
+			e := entries[i]
+			metas = append(metas, entryMeta{kind: e.kind, lba: e.lba, seq: e.seq, slot: e.slot, size: int32(entrySize(&e))})
+			c.perLba[e.lba]++
+			if cur, ok := latest[e.lba]; !ok || e.seq > cur.e.seq {
+				latest[e.lba] = newest{e: e, block: b}
+			}
+			if e.seq > maxSeq {
+				maxSeq = e.seq
+				maxSeqBlock = b
+			}
+		}
+		c.logMeta[b] = metas
+	}
+	c.logSeq = maxSeq
+	if maxSeq > 0 {
+		c.logHead = (maxSeqBlock + 1) % c.cfg.LogBlocks
+	}
+
+	// Apply newest records in LBA order for determinism.
+	lbas := make([]int64, 0, len(latest))
+	for lba := range latest {
+		lbas = append(lbas, lba)
+	}
+	sort.Slice(lbas, func(i, j int) bool { return lbas[i] < lbas[j] })
+
+	slotContentCache := make(map[int64][]byte)
+	readSlot := func(idx int64) ([]byte, error) {
+		if b, ok := slotContentCache[idx]; ok {
+			return b, nil
+		}
+		b := make([]byte, blockdev.BlockSize)
+		d, err := c.ssd.ReadBlock(idx, b)
+		if err != nil {
+			return nil, err
+		}
+		c.Stats.BackgroundSSDTime += d
+		slotContentCache[idx] = b
+		return b, nil
+	}
+	getSlot := func(idx int64) (*refSlot, error) {
+		if s, ok := c.slots[idx]; ok {
+			return s, nil
+		}
+		if idx < 0 || idx >= c.cfg.SSDBlocks {
+			return nil, fmt.Errorf("core: recovery: log references slot %d outside SSD", idx)
+		}
+		s := &refSlot{index: idx, donor: -1}
+		content, err := readSlot(idx)
+		if err != nil {
+			return nil, err
+		}
+		s.sigv = sig.Compute(content)
+		c.slots[idx] = s
+		c.slotOrder = append(c.slotOrder, s)
+		return s, nil
+	}
+
+	for _, lba := range lbas {
+		n := latest[lba]
+		e := n.e
+		c.setLogIndex(lba, logRec{block: n.block, seq: e.seq, kind: e.kind, size: int32(entrySize(&e))})
+		switch e.kind {
+		case entryTombstone:
+			// Home location is authoritative; no metadata needed.
+		case entryPointer:
+			s, err := getSlot(e.slot)
+			if err != nil {
+				return err
+			}
+			v := &vblock{lba: lba, ssdCurrent: true, sigv: s.sigv}
+			c.attachSlot(v, s)
+			if e.flags&flagDonor != 0 {
+				s.donor = lba
+			}
+			if e.flags&flagReference != 0 {
+				v.kind = Reference
+			} else {
+				v.kind = Independent
+			}
+			c.blocks[lba] = v
+			c.lru.pushFront(v)
+			c.indexOffset(v)
+		case entryDelta:
+			s, err := getSlot(e.slot)
+			if err != nil {
+				return err
+			}
+			v := &vblock{lba: lba, sigv: s.sigv}
+			c.attachSlot(v, s)
+			if e.flags&flagDonor != 0 {
+				s.donor = lba
+				v.kind = Reference
+			} else {
+				v.kind = Associate
+			}
+			// Best effort RAM install; the log copy remains the durable
+			// source either way.
+			c.storeDeltaBestEffort(v, e.delta, false)
+			c.blocks[lba] = v
+			c.lru.pushFront(v)
+			c.indexOffset(v)
+		}
+	}
+
+	// SSD slots not referenced by any live record are free.
+	used := make(map[int64]bool, len(c.slots))
+	for idx := range c.slots {
+		used[idx] = true
+	}
+	c.freeSlots = c.freeSlots[:0]
+	for i := c.cfg.SSDBlocks - 1; i >= 0; i-- {
+		if !used[i] {
+			c.freeSlots = append(c.freeSlots, i)
+		}
+	}
+	return nil
+}
+
+// indexOffset registers v in the VM-offset pairing index.
+func (c *Controller) indexOffset(v *vblock) {
+	if key := c.offsetKey(v.lba); key >= 0 {
+		c.sameOffset[key] = append(c.sameOffset[key], v)
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"sort"
+
+	"icash/internal/delta"
+	"icash/internal/sig"
+	"icash/internal/sim"
+)
+
+// scan is the periodic similarity-detection phase (paper §4.2): every
+// ScanPeriod I/Os the controller examines up to ScanWindow blocks from
+// the head of the LRU queue, computes each block's Heatmap popularity,
+// selects the most popular unattached blocks as new references, and
+// delta-attaches the remaining similar blocks to references. The
+// association between reference and delta blocks is reorganized at the
+// end of each scanning phase.
+func (c *Controller) scan() error {
+	c.Stats.Scans++
+
+	// Collect the scan window from the LRU head.
+	window := make([]*vblock, 0, c.cfg.ScanWindow)
+	for v := c.lru.head; v != nil && len(window) < c.cfg.ScanWindow; v = v.next {
+		window = append(window, v)
+	}
+	if len(window) == 0 {
+		return nil
+	}
+	c.Stats.ScanCandidates += int64(len(window))
+	c.cpu.ChargeStorage(c.costs.ScanPerBlock * sim.Duration(len(window)))
+
+	// Popularity of every window block, and identical-signature groups:
+	// two blocks sharing an exact signature are the strongest similarity
+	// signal and always justify a reference.
+	type cand struct {
+		v   *vblock
+		pop uint64
+	}
+	cands := make([]cand, 0, len(window))
+	sigGroup := make(map[sig.Signature]int, len(window))
+	var popSum uint64
+	for _, v := range window {
+		p := c.heat.Popularity(v.sigv)
+		cands = append(cands, cand{v: v, pop: p})
+		popSum += p
+		sigGroup[v.sigv]++
+	}
+	popBar := 2 * popSum / uint64(len(window)) // twice the window mean
+
+	// Most popular first; ties broken by LBA for determinism.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].pop != cands[j].pop {
+			return cands[i].pop > cands[j].pop
+		}
+		return cands[i].v.lba < cands[j].v.lba
+	})
+
+	installFailed := 0
+	for _, cd := range cands {
+		v := cd.v
+		if v.dead {
+			continue // evicted by reclamation earlier in this scan
+		}
+		if v.slotRef != nil {
+			continue // already a reference, associate or write-through
+		}
+		// Find the closest existing reference slot by signature.
+		best := c.findSimilarSlot(v.sigv)
+		if best != nil {
+			if ok, err := c.tryAttach(v, best); err != nil {
+				return err
+			} else if ok {
+				continue
+			}
+		}
+		// No attachable reference: promote to reference if the content
+		// is popular enough — shared by an identical-signature sibling
+		// in the window, or well above the window's mean popularity.
+		promote := sigGroup[v.sigv] > 1 || (cd.pop > popBar && cd.pop >= 16)
+		if !promote {
+			continue
+		}
+		content, _, _, err := c.materialize(v, true)
+		if err != nil {
+			return err
+		}
+		s, err := c.installReference(v, content)
+		if err != nil {
+			return err
+		}
+		if s == nil {
+			installFailed++
+		}
+	}
+
+	// Reorganization pressure valve: when this scan wanted to install
+	// fresher references but the SSD was full, demote the coldest
+	// donor-only references to make room for the next scan.
+	if installFailed > 0 && len(c.freeSlots) == 0 {
+		demoted := 0
+		for v := c.lru.tail; v != nil && demoted < 8; {
+			prev := v.prev
+			if v.kind == Reference && v.slotRef != nil && v.slotRef.refcnt == 1 {
+				if err := c.evictToHome(v); err != nil {
+					return err
+				}
+				c.Stats.RefsDemoted++
+				demoted++
+			}
+			v = prev
+		}
+	}
+	return nil
+}
+
+// findSimilarSlot returns the live reference slot whose content
+// signature is closest to sigv (within MaxSigDistance), or nil. The
+// probe count is bounded so per-request similarity detection stays
+// cheap.
+func (c *Controller) findSimilarSlot(sigv sig.Signature) *refSlot {
+	const maxSlotProbe = 256
+	var best *refSlot
+	bestDist := c.cfg.MaxSigDistance + 1
+	probes := 0
+	for _, s := range c.liveSlots() {
+		if probes++; probes > maxSlotProbe {
+			break
+		}
+		if d := sig.Distance(sigv, s.sigv); d < bestDist {
+			best, bestDist = s, d
+			if d == 0 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// tryAttach delta-encodes v against slot s and attaches it as an
+// associate when the delta fits the threshold.
+func (c *Controller) tryAttach(v *vblock, s *refSlot) (bool, error) {
+	base, _, err := c.slotContent(s, true)
+	if err != nil {
+		return false, err
+	}
+	content, _, _, err := c.materialize(v, true)
+	if err != nil {
+		return false, err
+	}
+	c.cpu.ChargeStorage(c.costs.DeltaEncode)
+	c.Stats.EncodeOps++
+	enc, ok := delta.Encode(content, base, c.cfg.DeltaThreshold)
+	if !ok {
+		c.Stats.ScanDeltaRejects++
+		return false, nil
+	}
+	// Keep the full content cached before rebinding, then store the
+	// delta as the authoritative representation.
+	if v.dataRAM == nil {
+		if err := c.cacheData(v, content, false); err != nil {
+			return false, err
+		}
+	}
+	if !c.storeDelta(v, enc, true) {
+		return false, nil
+	}
+	c.attachSlot(v, s)
+	c.promoteDonor(s)
+	v.kind = Associate
+	v.sigv = s.sigv // identity now refers to the reference content
+	v.dataDirty = false
+	c.Stats.AssocFormed++
+	c.Stats.NoteDelta(len(enc))
+	return true, nil
+}

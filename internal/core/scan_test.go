@@ -1,0 +1,238 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"icash/internal/blockdev"
+	"icash/internal/sim"
+)
+
+// writeSimilarSet writes n blocks derived from one template (small
+// per-block differences), then reads them all twice so the scan sees a
+// popular content family.
+func writeSimilarSet(t *testing.T, c *Controller, n int64, seed uint64) [][]byte {
+	t.Helper()
+	template := make([]byte, blockdev.BlockSize)
+	sim.NewRand(seed).Bytes(template)
+	contents := make([][]byte, n)
+	for lba := int64(0); lba < n; lba++ {
+		b := append([]byte(nil), template...)
+		for j := 0; j < 24; j++ {
+			b[200+j] = byte(lba >> (j % 8))
+		}
+		contents[lba] = b
+		if _, err := c.WriteBlock(lba, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, blockdev.BlockSize)
+	for pass := 0; pass < 2; pass++ {
+		for lba := int64(0); lba < n; lba++ {
+			if _, err := c.ReadBlock(lba, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return contents
+}
+
+func TestScanBuildsReferences(t *testing.T) {
+	rig := newTestRig(t, smallConfig())
+	c := rig.c
+	writeSimilarSet(t, c, 600, 77)
+	k := c.KindCounts()
+	if k.Reference == 0 {
+		t.Fatal("scan never selected a reference")
+	}
+	if k.Associate < 400 {
+		t.Fatalf("only %d associates of 600 similar blocks", k.Associate)
+	}
+	if c.Stats.AvgDeltaSize() > 512 {
+		t.Fatalf("avg delta %f too large for near-identical blocks", c.Stats.AvgDeltaSize())
+	}
+	// SSD economy: many logical blocks per SSD slot.
+	covered := k.Reference + k.Associate
+	if slots := c.LiveSlotCount(); covered < 3*slots {
+		t.Errorf("coverage %d blocks over %d slots: expected delta sharing", covered, slots)
+	}
+}
+
+func TestReferenceAheadOfAssociatesInLRU(t *testing.T) {
+	// Paper §4.3: a reference block is always ahead of its associates in
+	// the LRU queue because serving an associate touches the reference.
+	rig := newTestRig(t, smallConfig())
+	c := rig.c
+	writeSimilarSet(t, c, 200, 5)
+	buf := make([]byte, blockdev.BlockSize)
+	// Touch a specific associate; its reference donor must be at least
+	// as recent.
+	var assoc *vblock
+	for v := c.lru.head; v != nil; v = v.next {
+		if v.kind == Associate && v.slotRef != nil && v.slotRef.donor >= 0 {
+			if _, ok := c.blocks[v.slotRef.donor]; ok {
+				assoc = v
+				break
+			}
+		}
+	}
+	if assoc == nil {
+		t.Skip("no associate with live donor")
+	}
+	if _, err := c.ReadBlock(assoc.lba, buf); err != nil {
+		t.Fatal(err)
+	}
+	donor := c.blocks[assoc.slotRef.donor]
+	// Walk from the head: the donor must appear before the associate.
+	for v := c.lru.head; v != nil; v = v.next {
+		if v == donor {
+			return // donor first: ordering holds
+		}
+		if v == assoc {
+			t.Fatal("associate ahead of its reference in the LRU queue")
+		}
+	}
+	t.Fatal("blocks missing from LRU")
+}
+
+func TestWriteThroughOnIncompressible(t *testing.T) {
+	rig := newTestRig(t, smallConfig())
+	c := rig.c
+	writeSimilarSet(t, c, 300, 9)
+	before := rig.ssd.Stats.Writes
+	// Overwrite attached blocks with unrelated content: deltas exceed
+	// the threshold, so the new data goes straight to the SSD (§5.3).
+	r := sim.NewRand(10)
+	fresh := make([]byte, blockdev.BlockSize)
+	for lba := int64(0); lba < 50; lba++ {
+		r.Bytes(fresh)
+		if _, err := c.WriteBlock(lba, fresh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Stats.WriteThroughSSD == 0 {
+		t.Fatal("incompressible writes never took the write-through path")
+	}
+	if rig.ssd.Stats.Writes == before {
+		t.Fatal("write-through did not reach the SSD device")
+	}
+}
+
+func TestHeatmapDecayTriggered(t *testing.T) {
+	cfg := smallConfig()
+	cfg.HeatmapDecayOps = 500
+	rig := newTestRig(t, cfg)
+	c := rig.c
+	writeSimilarSet(t, c, 300, 13)
+	var s = c.blocks[0].sigv
+	popMid := c.heat.Popularity(s)
+	// Idle accesses to unrelated blocks: decay halves old popularity.
+	buf := make([]byte, blockdev.BlockSize)
+	for i := 0; i < 1200; i++ {
+		c.ReadBlock(int64(2000+i%100), buf)
+	}
+	if got := c.heat.Popularity(s); got >= popMid {
+		t.Fatalf("popularity %d did not decay from %d", got, popMid)
+	}
+}
+
+func TestSelfDeltaOnReference(t *testing.T) {
+	// A written reference block keeps its SSD content and accumulates a
+	// self-delta (§4.3): associates must still decode correctly.
+	rig := newTestRig(t, smallConfig())
+	c := rig.c
+	contents := writeSimilarSet(t, c, 100, 17)
+
+	// Find a donor (reference) and one of its associates.
+	var donor, assoc *vblock
+	for v := c.lru.head; v != nil; v = v.next {
+		if v.kind == Reference && v.slotRef != nil && v.slotRef.refcnt > 1 {
+			donor = v
+			break
+		}
+	}
+	if donor == nil {
+		t.Skip("no shared reference formed")
+	}
+	for v := c.lru.head; v != nil; v = v.next {
+		if v.kind == Associate && v.slotRef == donor.slotRef {
+			assoc = v
+			break
+		}
+	}
+	if assoc == nil {
+		t.Skip("no associate on the shared reference")
+	}
+
+	// Write the reference: small change -> self delta.
+	mod := append([]byte(nil), contents[donor.lba]...)
+	mod[50] ^= 0xFF
+	if _, err := c.WriteBlock(donor.lba, mod); err != nil {
+		t.Fatal(err)
+	}
+	if donor.ssdCurrent {
+		t.Fatal("written reference should carry a self-delta")
+	}
+	// Both read back correctly.
+	buf := make([]byte, blockdev.BlockSize)
+	if _, err := c.ReadBlock(donor.lba, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, mod) {
+		t.Fatal("reference self-delta decode wrong")
+	}
+	if _, err := c.ReadBlock(assoc.lba, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, contents[assoc.lba]) {
+		t.Fatal("associate corrupted by reference write")
+	}
+}
+
+func TestDataRAMEvictionKeepsCorrectness(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DataRAMBytes = 8 << 10 // two blocks: constant data eviction
+	rig := newTestRig(t, cfg)
+	c := rig.c
+	contents := writeSimilarSet(t, c, 120, 19)
+	if c.Stats.EvictDataRAM == 0 {
+		t.Fatal("expected data-RAM evictions")
+	}
+	buf := make([]byte, blockdev.BlockSize)
+	for lba := int64(0); lba < 120; lba++ {
+		if _, err := c.ReadBlock(lba, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, contents[lba]) {
+			t.Fatalf("lba %d wrong after data eviction", lba)
+		}
+	}
+}
+
+func TestLRUListOps(t *testing.T) {
+	var l lruList
+	a, b, c := &vblock{lba: 1}, &vblock{lba: 2}, &vblock{lba: 3}
+	l.pushFront(a)
+	l.pushFront(b)
+	l.pushFront(c) // order: c b a
+	if l.len() != 3 || l.head != c || l.tail != a {
+		t.Fatal("push order wrong")
+	}
+	l.moveToFront(a) // a c b
+	if l.head != a || l.tail != b {
+		t.Fatal("moveToFront wrong")
+	}
+	l.moveToFront(a) // no-op
+	if l.head != a {
+		t.Fatal("moveToFront head no-op wrong")
+	}
+	l.remove(c) // a b
+	if l.len() != 2 || a.next != b || b.prev != a {
+		t.Fatal("remove middle wrong")
+	}
+	l.remove(a)
+	l.remove(b)
+	if l.len() != 0 || l.head != nil || l.tail != nil {
+		t.Fatal("list not empty")
+	}
+}

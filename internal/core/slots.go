@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+
+	"icash/internal/blockdev"
+	"icash/internal/ram"
+	"icash/internal/sim"
+)
+
+// SSD slot management. A slot is one SSD block of immutable content that
+// attached virtual blocks decode against. Slots are freed only when no
+// block is attached, and freed slots sit in quarantine until the next
+// log flush commits the records that detached their dependents — only
+// then is reusing the slot crash-safe.
+
+// allocSlot reserves a free SSD slot. Returns nil when none are free —
+// callers decide whether reclaiming (installReference) or falling back
+// to RAM (write-through) is appropriate; forced eviction churn on the
+// write path would turn every incompressible write into HDD traffic.
+func (c *Controller) allocSlot() *refSlot {
+	if len(c.freeSlots) == 0 {
+		return nil
+	}
+	idx := c.freeSlots[len(c.freeSlots)-1]
+	c.freeSlots = c.freeSlots[:len(c.freeSlots)-1]
+	s := &refSlot{index: idx, donor: -1}
+	c.slots[idx] = s
+	c.slotOrder = append(c.slotOrder, s)
+	return s
+}
+
+// liveSlots compacts and returns the deterministic slot list.
+func (c *Controller) liveSlots() []*refSlot {
+	out := c.slotOrder[:0]
+	for _, s := range c.slotOrder {
+		if s.refcnt > 0 && c.slots[s.index] == s {
+			out = append(out, s)
+		}
+	}
+	c.slotOrder = out
+	return out
+}
+
+// attachSlot binds v to s.
+func (c *Controller) attachSlot(v *vblock, s *refSlot) {
+	if v.slotRef != nil {
+		c.detachSlot(v)
+	}
+	v.slotRef = s
+	s.refcnt++
+}
+
+// detachSlot unbinds v from its slot, quarantining the slot when the
+// last dependent leaves. Callers are responsible for queueing the log
+// record (tombstone / pointer / new delta) that supersedes v's durable
+// state before the next flush.
+func (c *Controller) detachSlot(v *vblock) {
+	dbg(v.lba, "detachSlot kind=%v ssdCur=%v", v.kind, v.ssdCurrent)
+	s := v.slotRef
+	v.slotRef = nil
+	v.ssdCurrent = false
+	if s == nil {
+		return
+	}
+	s.refcnt--
+	if s.refcnt <= 0 {
+		delete(c.slots, s.index)
+		c.quarantine = append(c.quarantine, s.index)
+	}
+}
+
+// reclaimWriteThrough evicts the coldest write-through (independent,
+// SSD-resident) block to its home location, freeing its slot for a new
+// write-through. Reference slots are never touched here — breaking
+// associations on the write path would be far more expensive than the
+// RAM fallback.
+func (c *Controller) reclaimWriteThrough() error {
+	for v := c.lru.tail; v != nil; v = v.prev {
+		if v == c.pinned || v.slotRef == nil || v.kind != Independent {
+			continue
+		}
+		if err := c.evictToHome(v); err != nil {
+			return err
+		}
+		if len(c.quarantine) > 0 && len(c.freeSlots) == 0 {
+			return c.flushDeltas()
+		}
+		return nil
+	}
+	return nil
+}
+
+// canReclaimSlot reports whether reclaimSlot would find a victim.
+func (c *Controller) canReclaimSlot() bool {
+	for v := c.lru.tail; v != nil; v = v.prev {
+		if v == c.pinned || v.slotRef == nil {
+			continue
+		}
+		if v.kind == Independent {
+			return true
+		}
+		if v.kind == Reference && v.slotRef.refcnt == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// reclaimSlot tries to free one SSD slot by evicting, from the LRU tail,
+// first a cold write-through independent and then a donor-only
+// reference. Shared reference slots are never broken up here (the scan
+// reorganizes those).
+func (c *Controller) reclaimSlot() {
+	var writeThrough, donorOnly *vblock
+	for v := c.lru.tail; v != nil; v = v.prev {
+		if v == c.pinned || v.slotRef == nil {
+			continue
+		}
+		if v.kind == Independent && writeThrough == nil {
+			writeThrough = v
+		}
+		if v.kind == Reference && v.slotRef.refcnt == 1 && donorOnly == nil {
+			donorOnly = v
+		}
+		if writeThrough != nil {
+			break
+		}
+	}
+	victim := writeThrough
+	if victim == nil {
+		victim = donorOnly
+	}
+	if victim == nil {
+		return
+	}
+	// Make the victim durable at home and drop its slot dependence.
+	if err := c.evictToHome(victim); err != nil {
+		return
+	}
+}
+
+// promoteDonor reclassifies a write-through block as a Reference once
+// other blocks attach to its slot: its content is now "being referred"
+// (paper §4.3), so it must not be recycled as a plain write-through.
+func (c *Controller) promoteDonor(s *refSlot) {
+	if s.donor < 0 || s.refcnt < 2 {
+		return
+	}
+	donor, ok := c.blocks[s.donor]
+	if !ok || donor.slotRef != s {
+		return
+	}
+	if donor.kind == Independent && donor.ssdCurrent {
+		donor.kind = Reference
+	}
+}
+
+// slotContent returns the immutable content of slot s and the
+// synchronous latency of obtaining it. The donor's cached data doubles
+// as the slot content while the donor is pristine; otherwise the SSD is
+// read. When background is true the device time is charged to
+// background stats and the returned latency is zero.
+func (c *Controller) slotContent(s *refSlot, background bool) ([]byte, sim.Duration, error) {
+	if s.donor >= 0 {
+		if donor, ok := c.blocks[s.donor]; ok && donor.slotRef == s && donor.ssdCurrent && donor.dataRAM != nil {
+			return donor.dataRAM, ram.AccessLatency, nil
+		}
+	}
+	buf := make([]byte, blockdev.BlockSize)
+	d, err := c.ssd.ReadBlock(s.index, buf)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: slot %d read: %w", s.index, err)
+	}
+	if background {
+		c.Stats.BackgroundSSDTime += d
+		return buf, 0, nil
+	}
+	return buf, d, nil
+}
+
+// writeThroughSSD handles an oversized delta (paper §5.3): the new
+// content is written directly to an SSD slot, releasing delta-buffer
+// space. The write is synchronous (it is the request's data path), so
+// its latency is returned. Falls back to a dirty RAM block when no slot
+// can be allocated.
+func (c *Controller) writeThroughSSD(v *vblock, content []byte) (sim.Duration, error) {
+	var s *refSlot
+	if v.slotRef != nil && v.slotRef.refcnt == 1 {
+		// Sole occupant: overwrite the same slot in place.
+		s = v.slotRef
+		if s.donor != v.lba && s.donor >= 0 {
+			// Slot content belonged to another (departed) donor; it is
+			// ours alone now.
+			s.donor = v.lba
+		}
+	} else {
+		if v.slotRef != nil {
+			c.detachSlot(v)
+		}
+		s = c.allocSlot()
+		if s == nil && len(c.quarantine) > 0 {
+			// Freed slots are waiting on a flush to commit their
+			// tombstones; flush now (cheap sequential log writes) and
+			// retry.
+			if err := c.flushDeltas(); err != nil {
+				return 0, err
+			}
+			s = c.allocSlot()
+		}
+		if s == nil {
+			// Recycle the coldest previous write-through block; its
+			// content moves to its home location in the background.
+			if err := c.reclaimWriteThrough(); err != nil {
+				return 0, err
+			}
+			s = c.allocSlot()
+		}
+	}
+	if s == nil {
+		// SSD fully pinned by shared references: keep the block dirty
+		// in RAM instead; eviction will write it home. A tombstone
+		// supersedes any durable delta/pointer record left behind.
+		c.releaseDelta(v)
+		v.kind = Independent
+		v.hddHome = false
+		if rec, ok := c.logIndex[v.lba]; ok && rec.kind != entryTombstone {
+			c.queueControl(logEntry{kind: entryTombstone, lba: v.lba})
+		}
+		if err := c.cacheData(v, content, true); err != nil {
+			return 0, err
+		}
+		c.Stats.WriteIndependent++
+		c.Stats.WriteRAMFallback++
+		return ram.AccessLatency, nil
+	}
+	d, err := c.ssd.WriteBlock(s.index, content)
+	if err != nil {
+		return 0, fmt.Errorf("core: write-through slot %d: %w", s.index, err)
+	}
+	if v.slotRef != s {
+		c.attachSlot(v, s)
+	}
+	s.donor = v.lba
+	s.sigv = v.sigv
+	c.releaseDelta(v)
+	v.kind = Independent
+	v.ssdCurrent = true
+	v.hddHome = false
+	if err := c.cacheData(v, content, false); err != nil {
+		return 0, err
+	}
+	dbg(v.lba, "writeThroughSSD pointer slot=%d", s.index)
+	c.queueControl(logEntry{kind: entryPointer, flags: flagDonor, lba: v.lba, slot: s.index})
+	c.Stats.WriteThroughSSD++
+	return d, nil
+}
+
+// installReference writes content into a fresh SSD slot and makes v its
+// donor ("reference block"). Called by the similarity scan; the SSD
+// write is background reorganization work, not request latency.
+// References never take the last ReserveSlots slots — those stay
+// available for threshold write-throughs.
+func (c *Controller) installReference(v *vblock, content []byte) (*refSlot, error) {
+	if len(c.freeSlots) <= c.cfg.ReserveSlots {
+		c.reclaimSlot()
+	}
+	if len(c.freeSlots) <= c.cfg.ReserveSlots {
+		return nil, nil
+	}
+	s := c.allocSlot()
+	if s == nil {
+		return nil, nil
+	}
+	d, err := c.ssd.WriteBlock(s.index, content)
+	if err != nil {
+		return nil, fmt.Errorf("core: install reference slot %d: %w", s.index, err)
+	}
+	c.Stats.BackgroundSSDTime += d
+	if v.slotRef != nil {
+		c.detachSlot(v)
+	}
+	c.attachSlot(v, s)
+	s.donor = v.lba
+	s.sigv = v.sigv
+	v.kind = Reference
+	v.ssdCurrent = true
+	v.dataDirty = false // the SSD slot is now a durable current copy
+	c.releaseDelta(v)
+	v.deltaDirty = false
+	dbg(v.lba, "installReference pointer slot=%d", s.index)
+	c.queueControl(logEntry{kind: entryPointer, flags: flagDonor | flagReference, lba: v.lba, slot: s.index})
+	c.Stats.RefsSelected++
+	return s, nil
+}
+
+// FreeSlotCount reports currently allocatable SSD slots (excluding
+// quarantined ones awaiting a flush).
+func (c *Controller) FreeSlotCount() int { return len(c.freeSlots) }
+
+// LiveSlotCount reports SSD slots holding live reference or
+// write-through content.
+func (c *Controller) LiveSlotCount() int { return len(c.slots) }

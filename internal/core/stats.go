@@ -1,0 +1,102 @@
+package core
+
+import (
+	"icash/internal/blockdev"
+	"icash/internal/sim"
+)
+
+// Stats aggregates controller activity for the experiment harness and
+// the inspection tool.
+type Stats struct {
+	// Host-visible request accounting (latency per request).
+	blockdev.Stats
+
+	// Path counters.
+	ReadRAMHits   int64 // reads served entirely from controller RAM
+	ReadSSDHits   int64 // reads needing an SSD reference read
+	ReadLogLoads  int64 // reads that loaded a packed delta block from the log
+	ReadHDDMisses int64 // reads that went to the HDD home location
+	DecodeOps     int64 // delta decodes (read path)
+	EncodeOps     int64 // delta encodes (write path)
+
+	// Write-path outcomes.
+	WriteDelta       int64 // writes stored as deltas
+	WriteThroughSSD  int64 // oversized deltas written directly to SSD (§5.3)
+	WriteIndependent int64 // writes to independent blocks (RAM + home)
+	WriteRAMFallback int64 // write-throughs that found no SSD slot
+
+	// Delta bookkeeping.
+	DeltaBytesStored int64 // sum of encoded delta sizes accepted
+	DeltaCount       int64 // number of deltas accepted
+	// DeltaSizeHist counts accepted deltas by size bucket: <=64, <=128,
+	// <=256, <=512, <=1024, <=2048 bytes — the paper's content-locality
+	// claim made visible (most deltas are tiny).
+	DeltaSizeHist    [6]int64
+	FlushRuns        int64 // delta-pack flushes
+	LogBlocksWritten int64 // packed delta blocks appended to the log
+	DeltasPacked     int64 // deltas packed into the log
+	LogCleanerRuns   int64 // log blocks cleaned (live deltas rescued)
+	DeltasRescued    int64 // live deltas re-queued by the cleaner
+
+	// Scanning and reference management.
+	Scans            int64
+	RefsSelected     int64
+	RefsDemoted      int64
+	AssocFormed      int64
+	AssocBroken      int64
+	FirstLoadPairs   int64 // similarity found at first load via VM addressing
+	ScanCandidates   int64 // blocks examined by scans
+	ScanDeltaRejects int64 // candidate pairs rejected by the size threshold
+
+	// Evictions.
+	EvictVBlocks   int64
+	EvictDataRAM   int64
+	EvictDeltaRAM  int64
+	WritebacksHome int64 // reconstructed blocks written back to HDD home
+
+	// BackgroundHDDTime is HDD time spent on flush/cleaning, performed
+	// off the request path.
+	BackgroundHDDTime sim.Duration
+	// BackgroundSSDTime is SSD time spent installing references.
+	BackgroundSSDTime sim.Duration
+}
+
+// KindCounts is a snapshot of the virtual-block population by kind,
+// matching the paper's "1% reference / 85% associate / 14% independent"
+// observation for SysBench (§5.1).
+type KindCounts struct {
+	Reference   int
+	Associate   int
+	Independent int
+}
+
+// Total returns the tracked block count.
+func (k KindCounts) Total() int { return k.Reference + k.Associate + k.Independent }
+
+// Fractions returns the population fractions (0 when empty).
+func (k KindCounts) Fractions() (ref, assoc, indep float64) {
+	t := k.Total()
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return float64(k.Reference) / float64(t), float64(k.Associate) / float64(t), float64(k.Independent) / float64(t)
+}
+
+// NoteDelta records an accepted delta of n bytes.
+func (s *Stats) NoteDelta(n int) {
+	s.DeltaCount++
+	s.DeltaBytesStored += int64(n)
+	bucket := 0
+	for limit := 64; bucket < len(s.DeltaSizeHist)-1 && n > limit; bucket++ {
+		limit <<= 1
+	}
+	s.DeltaSizeHist[bucket]++
+}
+
+// AvgDeltaSize returns the mean accepted delta size in bytes.
+func (s *Stats) AvgDeltaSize() float64 {
+	if s.DeltaCount == 0 {
+		return 0
+	}
+	return float64(s.DeltaBytesStored) / float64(s.DeltaCount)
+}

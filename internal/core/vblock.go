@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"icash/internal/sig"
+)
+
+// Kind classifies a virtual block (paper §4.3).
+type Kind uint8
+
+const (
+	// Independent blocks have no reference association; their current
+	// content lives in RAM and/or at their HDD home (or an SSD slot
+	// after a threshold write-through).
+	Independent Kind = iota
+	// Reference blocks hold popular content in an SSD slot; associates
+	// are delta-encoded against them.
+	Reference
+	// Associate blocks are represented as reference + delta.
+	Associate
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case Independent:
+		return "independent"
+	case Reference:
+		return "reference"
+	case Associate:
+		return "associate"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// vblock is the per-LBA metadata record ("virtual block", paper §4.3):
+// the LBA, the content signature, the reference association, and
+// pointers to cached data and delta bytes. The newest durable log record
+// for the LBA, if any, is tracked centrally in Controller.logIndex.
+type vblock struct {
+	lba  int64
+	kind Kind
+	sigv sig.Signature
+
+	// slotRef is the SSD reference slot this block is attached to (nil
+	// for plain independents). Attached blocks are decodable as slot
+	// content plus delta. The block flagged as the slot's donor is the
+	// "reference block"; other attached blocks are associates.
+	// Independent blocks may also hold a slotRef after a threshold
+	// write-through (§5.3): the slot then carries the block's current
+	// content directly (ssdCurrent == true).
+	slotRef *refSlot
+
+	// dataRAM caches the full current content (nil when evicted).
+	dataRAM []byte
+	// dataDirty marks dataRAM newer than every durable copy.
+	dataDirty bool
+	// hddHome is true when the block's HDD home location holds its
+	// current content.
+	hddHome bool
+	// ssdCurrent is true when the attached SSD slot holds the block's
+	// *current* content (write-through blocks; for a donor it means no
+	// self-delta has accumulated).
+	ssdCurrent bool
+
+	// deltaRAM holds the current delta against the slot content.
+	deltaRAM []byte
+	// deltaDirty marks deltaRAM as not yet packed into the log.
+	deltaDirty bool
+
+	// LRU linkage (intrusive doubly-linked list).
+	prev, next *vblock
+	// inDirty marks membership in the dirty-delta flush queue.
+	inDirty bool
+	// dead marks a block evicted from the controller; holders of stale
+	// pointers (the scan window snapshot) must skip it.
+	dead bool
+}
+
+// lruList is an intrusive LRU list of vblocks. head is most recently
+// used, tail least.
+type lruList struct {
+	head, tail *vblock
+	n          int
+}
+
+// pushFront inserts v at the head (most recently used).
+func (l *lruList) pushFront(v *vblock) {
+	v.prev = nil
+	v.next = l.head
+	if l.head != nil {
+		l.head.prev = v
+	}
+	l.head = v
+	if l.tail == nil {
+		l.tail = v
+	}
+	l.n++
+}
+
+// remove unlinks v.
+func (l *lruList) remove(v *vblock) {
+	if v.prev != nil {
+		v.prev.next = v.next
+	} else {
+		l.head = v.next
+	}
+	if v.next != nil {
+		v.next.prev = v.prev
+	} else {
+		l.tail = v.prev
+	}
+	v.prev, v.next = nil, nil
+	l.n--
+}
+
+// moveToFront marks v most recently used.
+func (l *lruList) moveToFront(v *vblock) {
+	if l.head == v {
+		return
+	}
+	l.remove(v)
+	l.pushFront(v)
+}
+
+// len returns the list length.
+func (l *lruList) len() int { return l.n }

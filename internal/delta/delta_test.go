@@ -1,0 +1,259 @@
+package delta
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"icash/internal/sim"
+)
+
+func mustDecode(t *testing.T, ref, d []byte) []byte {
+	t.Helper()
+	out, err := Decode(ref, d)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return out
+}
+
+func TestRoundTripIdentical(t *testing.T) {
+	b := make([]byte, 4096)
+	sim.NewRand(1).Bytes(b)
+	d, ok := Encode(b, b, 0)
+	if !ok {
+		t.Fatal("Encode rejected with no size bound")
+	}
+	if len(d) > 16 {
+		t.Fatalf("identical blocks should produce a tiny delta, got %d bytes", len(d))
+	}
+	if !bytes.Equal(mustDecode(t, b, d), b) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestRoundTripSmallChange(t *testing.T) {
+	ref := make([]byte, 4096)
+	sim.NewRand(2).Bytes(ref)
+	target := append([]byte(nil), ref...)
+	copy(target[1000:], []byte("hello world"))
+	d, ok := Encode(target, ref, 0)
+	if !ok {
+		t.Fatal("Encode failed")
+	}
+	if len(d) > 64 {
+		t.Fatalf("11 changed bytes should encode in well under 64, got %d", len(d))
+	}
+	if !bytes.Equal(mustDecode(t, ref, d), target) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestRoundTripUnrelated(t *testing.T) {
+	ref := make([]byte, 4096)
+	target := make([]byte, 4096)
+	sim.NewRand(3).Bytes(ref)
+	sim.NewRand(4).Bytes(target)
+	d, ok := Encode(target, ref, 0)
+	if !ok {
+		t.Fatal("Encode failed")
+	}
+	if !bytes.Equal(mustDecode(t, ref, d), target) {
+		t.Fatal("round trip mismatch")
+	}
+	// Unrelated content: delta should be about a block, and certainly
+	// rejected by the paper's 2048-byte threshold.
+	if _, ok := Encode(target, ref, 2048); ok {
+		t.Fatal("unrelated blocks must exceed the threshold")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	ref := make([]byte, 4096)
+	sim.NewRand(5).Bytes(ref)
+	target := append([]byte(nil), ref...)
+	for i := 0; i < 100; i++ {
+		target[i*40] ^= 0xFF
+	}
+	d, ok := Encode(target, ref, 2048)
+	if !ok {
+		t.Fatalf("100 scattered byte changes should fit 2048")
+	}
+	if _, ok := Encode(target, ref, len(d)-1); ok {
+		t.Fatal("threshold one below the actual size must reject")
+	}
+}
+
+func TestDifferentLengths(t *testing.T) {
+	ref := []byte("short reference")
+	target := make([]byte, 300)
+	copy(target, ref)
+	sim.NewRand(6).Bytes(target[100:])
+	d, ok := Encode(target, ref, 0)
+	if !ok {
+		t.Fatal("Encode failed")
+	}
+	if !bytes.Equal(mustDecode(t, ref, d), target) {
+		t.Fatal("target longer than ref: round trip mismatch")
+	}
+
+	// Target shorter than ref.
+	d2, ok := Encode(ref, target, 0)
+	if !ok {
+		t.Fatal("Encode failed")
+	}
+	if !bytes.Equal(mustDecode(t, target, d2), ref) {
+		t.Fatal("target shorter than ref: round trip mismatch")
+	}
+}
+
+func TestEmptyTarget(t *testing.T) {
+	d, ok := Encode(nil, []byte("ref"), 0)
+	if !ok {
+		t.Fatal("Encode failed")
+	}
+	out := mustDecode(t, []byte("ref"), d)
+	if len(out) != 0 {
+		t.Fatalf("expected empty target, got %d bytes", len(out))
+	}
+	n, err := TargetLen(d)
+	if err != nil || n != 0 {
+		t.Fatalf("TargetLen = %d, %v", n, err)
+	}
+}
+
+func TestTargetLen(t *testing.T) {
+	ref := make([]byte, 512)
+	target := make([]byte, 512)
+	sim.NewRand(7).Bytes(target)
+	d, _ := Encode(target, ref, 0)
+	n, err := TargetLen(d)
+	if err != nil || n != 512 {
+		t.Fatalf("TargetLen = %d, %v", n, err)
+	}
+	if _, err := TargetLen([]byte{1, 2}); err == nil {
+		t.Fatal("bad header must error")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	ref := make([]byte, 256)
+	target := make([]byte, 256)
+	sim.NewRand(8).Bytes(target)
+	d, _ := Encode(target, ref, 0)
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   {0x00, 0x01, 0x10},
+		"bad version": {magic, 99, 0x10},
+		"truncated":   d[:len(d)/2],
+	}
+	for name, bad := range cases {
+		if _, err := Decode(ref, bad); err == nil {
+			t.Errorf("%s: expected decode error", name)
+		}
+	}
+	// Trailing garbage.
+	if _, err := Decode(ref, append(append([]byte(nil), d...), 0xFF)); err == nil {
+		t.Error("trailing bytes: expected decode error")
+	}
+	// Reference too short for the copies the delta demands.
+	if _, err := Decode(ref[:10], d); err == nil {
+		// Only fails when the delta actually copies beyond 10 bytes;
+		// with random target content the first op may be a large ADD.
+		// Force a copy-heavy delta instead.
+		same := append([]byte(nil), ref...)
+		same[200] = 1
+		d2, _ := Encode(same, ref, 0)
+		if _, err := Decode(ref[:10], d2); err == nil {
+			t.Error("short reference: expected decode error")
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	ref := make([]byte, 4096)
+	sim.NewRand(9).Bytes(ref)
+	target := append([]byte(nil), ref...)
+	target[0] ^= 1
+	d, _ := Encode(target, ref, 0)
+	if Size(target, ref) != len(d) {
+		t.Fatalf("Size = %d, Encode produced %d", Size(target, ref), len(d))
+	}
+}
+
+// Property: Decode(ref, Encode(target, ref)) == target for arbitrary
+// inputs, and the encoded size is monotone-ish in the number of changes
+// (never exceeds target length plus bounded overhead).
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seedRef, seedMut uint64, length uint16, nMut uint8) bool {
+		n := int(length)%5000 + 1
+		ref := make([]byte, n)
+		sim.NewRand(seedRef).Bytes(ref)
+		target := append([]byte(nil), ref...)
+		r := sim.NewRand(seedMut)
+		for i := 0; i < int(nMut); i++ {
+			target[r.Intn(n)] = byte(r.Uint64())
+		}
+		d, ok := Encode(target, ref, 0)
+		if !ok {
+			return false
+		}
+		if len(d) > n+n/2+16 {
+			return false // overhead bound
+		}
+		out, err := Decode(ref, d)
+		return err == nil && bytes.Equal(out, target)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: clustered changes of k bytes encode in O(k) bytes — the
+// content-locality premise that makes I-CASH deltas small.
+func TestClusteredChangesCompact(t *testing.T) {
+	f := func(seed uint64, runsRaw uint8) bool {
+		runs := int(runsRaw)%8 + 1
+		ref := make([]byte, 4096)
+		sim.NewRand(seed).Bytes(ref)
+		target := append([]byte(nil), ref...)
+		r := sim.NewRand(seed + 1)
+		changed := 0
+		for i := 0; i < runs; i++ {
+			runLen := 16 + r.Intn(48)
+			pos := r.Intn(4096 - 64)
+			for j := 0; j < runLen; j++ {
+				target[pos+j] = byte(r.Uint64())
+			}
+			changed += runLen
+		}
+		d, ok := Encode(target, ref, 0)
+		if !ok {
+			return false
+		}
+		// Overhead per run is a handful of bytes.
+		return len(d) <= changed+runs*12+16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Decode never panics on arbitrary (possibly hostile) delta
+// bytes — it returns an error or a valid block.
+func TestDecodeFuzzSafety(t *testing.T) {
+	f := func(refSeed uint64, raw []byte) bool {
+		ref := make([]byte, 1024)
+		sim.NewRand(refSeed).Bytes(ref)
+		out, err := Decode(ref, raw)
+		if err != nil {
+			return true
+		}
+		n, lerr := TargetLen(raw)
+		return lerr == nil && len(out) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+// Package metrics provides latency recording and table formatting for
+// the experiment harness. Latencies go into logarithmic histograms so
+// means and percentiles are available without storing every sample.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"icash/internal/sim"
+)
+
+// nBuckets covers 1 ns .. ~17 s in power-of-two buckets.
+const nBuckets = 35
+
+// LatencyRecorder accumulates a latency distribution.
+type LatencyRecorder struct {
+	count   int64
+	sum     sim.Duration
+	min     sim.Duration
+	max     sim.Duration
+	buckets [nBuckets]int64
+}
+
+// bucketOf returns the histogram bucket for d.
+func bucketOf(d sim.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	b := 64 - bits.LeadingZeros64(uint64(d))
+	if b >= nBuckets {
+		b = nBuckets - 1
+	}
+	return b
+}
+
+// Record adds one sample.
+func (r *LatencyRecorder) Record(d sim.Duration) {
+	if r.count == 0 || d < r.min {
+		r.min = d
+	}
+	if d > r.max {
+		r.max = d
+	}
+	r.count++
+	r.sum += d
+	r.buckets[bucketOf(d)]++
+}
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int64 { return r.count }
+
+// Sum returns the total recorded time.
+func (r *LatencyRecorder) Sum() sim.Duration { return r.sum }
+
+// Mean returns the average sample, or 0 when empty.
+func (r *LatencyRecorder) Mean() sim.Duration {
+	if r.count == 0 {
+		return 0
+	}
+	return r.sum / sim.Duration(r.count)
+}
+
+// Min returns the smallest sample.
+func (r *LatencyRecorder) Min() sim.Duration { return r.min }
+
+// Max returns the largest sample.
+func (r *LatencyRecorder) Max() sim.Duration { return r.max }
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1) using the
+// geometric midpoint of the containing bucket.
+func (r *LatencyRecorder) Quantile(q float64) sim.Duration {
+	if r.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return r.min
+	}
+	if q >= 1 {
+		return r.max
+	}
+	target := int64(math.Ceil(q * float64(r.count)))
+	var cum int64
+	for b := 0; b < nBuckets; b++ {
+		cum += r.buckets[b]
+		if cum >= target {
+			if b == 0 {
+				return clampDur(0, r.min, r.max)
+			}
+			lo := int64(1) << uint(b-1)
+			hi := int64(1) << uint(b)
+			return clampDur(sim.Duration((lo+hi)/2), r.min, r.max)
+		}
+	}
+	return r.max
+}
+
+// clampDur bounds a bucket-midpoint estimate to the observed range.
+func clampDur(d, lo, hi sim.Duration) sim.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
+// Merge adds o's samples into r.
+func (r *LatencyRecorder) Merge(o *LatencyRecorder) {
+	if o.count == 0 {
+		return
+	}
+	if r.count == 0 || o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
+	r.count += o.count
+	r.sum += o.sum
+	for i := range r.buckets {
+		r.buckets[i] += o.buckets[i]
+	}
+}
+
+// String summarizes the distribution.
+func (r *LatencyRecorder) String() string {
+	if r.count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		r.count, r.Mean(), r.Quantile(0.5), r.Quantile(0.99), r.max)
+}

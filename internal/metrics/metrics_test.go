@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"icash/internal/sim"
+)
+
+func TestEmptyRecorder(t *testing.T) {
+	var r LatencyRecorder
+	if r.Count() != 0 || r.Mean() != 0 || r.Quantile(0.5) != 0 {
+		t.Fatal("empty recorder must report zeros")
+	}
+	if r.String() != "no samples" {
+		t.Fatalf("String() = %q", r.String())
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	var r LatencyRecorder
+	for _, d := range []sim.Duration{10, 20, 30, 40} {
+		r.Record(d * sim.Microsecond)
+	}
+	if r.Count() != 4 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	if r.Mean() != 25*sim.Microsecond {
+		t.Fatalf("mean = %v", r.Mean())
+	}
+	if r.Min() != 10*sim.Microsecond || r.Max() != 40*sim.Microsecond {
+		t.Fatalf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	if !strings.Contains(r.String(), "n=4") {
+		t.Fatalf("String() = %q", r.String())
+	}
+}
+
+func TestQuantileApproximation(t *testing.T) {
+	var r LatencyRecorder
+	// 99 samples at ~100µs, 1 sample at ~10ms.
+	for i := 0; i < 99; i++ {
+		r.Record(100 * sim.Microsecond)
+	}
+	r.Record(10 * sim.Millisecond)
+	p50 := r.Quantile(0.5)
+	p999 := r.Quantile(0.999)
+	// Histogram buckets are powers of two: p50 must land in the bucket
+	// containing 100µs (within 2x), p99.9 near the outlier.
+	if p50 < 50*sim.Microsecond || p50 > 200*sim.Microsecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p999 < 5*sim.Millisecond {
+		t.Fatalf("p99.9 = %v, expected to reflect the outlier", p999)
+	}
+	if r.Quantile(0) != r.Min() || r.Quantile(1) != r.Max() {
+		t.Fatal("quantile extremes")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b LatencyRecorder
+	a.Record(10 * sim.Microsecond)
+	b.Record(30 * sim.Microsecond)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Mean() != 20*sim.Microsecond {
+		t.Fatalf("after merge: count=%d mean=%v", a.Count(), a.Mean())
+	}
+	var empty LatencyRecorder
+	a.Merge(&empty)
+	if a.Count() != 2 {
+		t.Fatal("merging empty changed the recorder")
+	}
+}
+
+// Property: mean is exact (not bucketed), min <= p50 <= max, and
+// quantiles are monotone in q.
+func TestRecorderProperties(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var r LatencyRecorder
+		var sum sim.Duration
+		for _, v := range raw {
+			d := sim.Duration(v)
+			r.Record(d)
+			sum += d
+		}
+		if r.Mean() != sum/sim.Duration(len(raw)) {
+			return false
+		}
+		last := sim.Duration(-1)
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			cur := r.Quantile(q)
+			if cur < last {
+				return false
+			}
+			last = cur
+		}
+		return r.Min() <= r.Quantile(0.5) && r.Quantile(0.5) <= r.Max()*2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"icash/internal/sim"
+)
+
+func TestJoulesComposition(t *testing.T) {
+	m := Model{
+		HDDActiveWatts: 10,
+		SSDReadJoules:  1e-6,
+		SSDWriteJoules: 10e-6,
+		SSDEraseJoules: 100e-6,
+		CPUActiveWatts: 50,
+	}
+	u := Usage{
+		HDDBusy:   2 * sim.Second,
+		SSDReads:  1000,
+		SSDWrites: 100,
+		SSDErases: 10,
+		CPUBusy:   1 * sim.Second,
+	}
+	want := 10*2.0 + 1e-6*1000 + 10e-6*100 + 100e-6*10 + 50*1.0
+	if got := m.Joules(u); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Joules = %v, want %v", got, want)
+	}
+	if got := m.WattHours(u); math.Abs(got-want/3600) > 1e-12 {
+		t.Fatalf("WattHours = %v", got)
+	}
+}
+
+func TestDefaultModelUsesPaperConstants(t *testing.T) {
+	m := DefaultModel()
+	// The paper cites 9.5 µJ per 4 KB read and 76.1 µJ per write from
+	// Sun et al. [47] (§5.2), and 15 W per RAID disk.
+	if m.SSDReadJoules != 9.5e-6 || m.SSDWriteJoules != 76.1e-6 {
+		t.Errorf("SSD energy constants diverge from the paper: %v %v",
+			m.SSDReadJoules, m.SSDWriteJoules)
+	}
+	if m.HDDActiveWatts != 15.0 {
+		t.Errorf("HDD watts = %v, paper attributes 15 W per disk", m.HDDActiveWatts)
+	}
+}
+
+func TestZeroUsage(t *testing.T) {
+	if DefaultModel().Joules(Usage{}) != 0 {
+		t.Fatal("no activity must consume no energy")
+	}
+}
+
+func TestEnergyMonotone(t *testing.T) {
+	m := DefaultModel()
+	base := Usage{SSDReads: 10, SSDWrites: 10, HDDBusy: sim.Second}
+	more := base
+	more.SSDWrites *= 10
+	if m.Joules(more) <= m.Joules(base) {
+		t.Fatal("more writes must consume more energy")
+	}
+}

@@ -1,0 +1,77 @@
+// Package ram models the controller's DRAM buffer: a byte budget with
+// reservation accounting and a flat access cost. The I-CASH controller
+// partitions a configured amount of system RAM between the delta buffer
+// and cached data blocks (paper §4.1); replacement decisions trigger when
+// a reservation fails.
+package ram
+
+import (
+	"fmt"
+
+	"icash/internal/sim"
+)
+
+// AccessLatency is the simulated cost of servicing a 4 KB block from
+// DRAM, covering copy and controller bookkeeping.
+const AccessLatency = 1 * sim.Microsecond
+
+// Budget tracks usage of a fixed byte budget.
+type Budget struct {
+	capacity int64
+	used     int64
+
+	// HighWater records the maximum bytes ever in use.
+	HighWater int64
+}
+
+// NewBudget returns a budget of capacity bytes.
+func NewBudget(capacity int64) *Budget {
+	if capacity < 0 {
+		panic("ram: negative capacity")
+	}
+	return &Budget{capacity: capacity}
+}
+
+// Capacity returns the configured size in bytes.
+func (b *Budget) Capacity() int64 { return b.capacity }
+
+// Used returns the bytes currently reserved.
+func (b *Budget) Used() int64 { return b.used }
+
+// Free returns the bytes currently available.
+func (b *Budget) Free() int64 { return b.capacity - b.used }
+
+// Reserve claims n bytes, reporting whether they fit.
+func (b *Budget) Reserve(n int64) bool {
+	if n < 0 {
+		panic("ram: negative reservation")
+	}
+	if b.used+n > b.capacity {
+		return false
+	}
+	b.used += n
+	if b.used > b.HighWater {
+		b.HighWater = b.used
+	}
+	return true
+}
+
+// Release returns n bytes to the budget. Releasing more than is in use
+// is a programming error and panics.
+func (b *Budget) Release(n int64) {
+	if n < 0 {
+		panic("ram: negative release")
+	}
+	if n > b.used {
+		panic(fmt.Sprintf("ram: release %d exceeds used %d", n, b.used))
+	}
+	b.used -= n
+}
+
+// Utilization returns used/capacity in [0,1], or 0 for a zero budget.
+func (b *Budget) Utilization() float64 {
+	if b.capacity == 0 {
+		return 0
+	}
+	return float64(b.used) / float64(b.capacity)
+}

@@ -1,0 +1,90 @@
+package ram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBudgetBasics(t *testing.T) {
+	b := NewBudget(1000)
+	if b.Capacity() != 1000 || b.Used() != 0 || b.Free() != 1000 {
+		t.Fatal("fresh budget state wrong")
+	}
+	if !b.Reserve(600) {
+		t.Fatal("reserve within capacity failed")
+	}
+	if b.Reserve(500) {
+		t.Fatal("over-reserve succeeded")
+	}
+	if !b.Reserve(400) {
+		t.Fatal("exact-fit reserve failed")
+	}
+	if b.Free() != 0 || b.Utilization() != 1.0 {
+		t.Fatalf("free=%d util=%f", b.Free(), b.Utilization())
+	}
+	b.Release(1000)
+	if b.Used() != 0 {
+		t.Fatal("release did not return bytes")
+	}
+	if b.HighWater != 1000 {
+		t.Fatalf("high water = %d", b.HighWater)
+	}
+}
+
+func TestBudgetZeroCapacity(t *testing.T) {
+	b := NewBudget(0)
+	if b.Reserve(1) {
+		t.Fatal("zero budget accepted a reservation")
+	}
+	if !b.Reserve(0) {
+		t.Fatal("zero reservation must always fit")
+	}
+	if b.Utilization() != 0 {
+		t.Fatal("utilization of empty budget")
+	}
+}
+
+func TestBudgetPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative capacity": func() { NewBudget(-1) },
+		"negative reserve":  func() { NewBudget(10).Reserve(-1) },
+		"negative release":  func() { NewBudget(10).Release(-1) },
+		"over release":      func() { NewBudget(10).Release(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: used never exceeds capacity and never goes negative under
+// any valid reserve/release sequence.
+func TestBudgetInvariantProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		b := NewBudget(1 << 20)
+		var held int64
+		for _, op := range ops {
+			n := int64(op)
+			if n >= 0 {
+				if b.Reserve(n) {
+					held += n
+				}
+			} else if -n <= held {
+				b.Release(-n)
+				held += n
+			}
+			if b.Used() != held || b.Used() < 0 || b.Used() > b.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

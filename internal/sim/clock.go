@@ -1,0 +1,95 @@
+// Package sim provides the deterministic simulation substrate used by
+// every device model in this repository: a virtual clock measured in
+// nanoseconds and a fast, seedable pseudo-random number generator.
+//
+// Nothing in the simulation reads wall-clock time. All latencies are
+// computed by device models and accumulated on a Clock, which makes runs
+// deterministic and immune to host scheduling or garbage-collection
+// pauses — the main fidelity concern for a user-space block emulation.
+package sim
+
+import "fmt"
+
+// Duration is a span of simulated time in nanoseconds. It mirrors
+// time.Duration so values print naturally, but it is a distinct type to
+// keep simulated time from ever mixing with wall-clock time.
+type Duration int64
+
+// Convenient units, matching time package conventions.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Microseconds returns the duration as a floating-point number of
+// microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Milliseconds returns the duration as a floating-point number of
+// milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// String formats the duration with an adaptive unit.
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return "-" + (-d).String()
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.2fµs", d.Microseconds())
+	case d < Second:
+		return fmt.Sprintf("%.2fms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// Time is an instant on the simulated timeline, in nanoseconds since the
+// start of the simulation.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Clock is the simulated clock. A single Clock is shared by every
+// component of one simulated machine. Clock is not safe for concurrent
+// use; the simulation is single-threaded by design (determinism).
+type Clock struct {
+	now Time
+}
+
+// NewClock returns a clock at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current simulated instant.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. Negative d is a programming
+// error and panics: simulated time never runs backwards.
+func (c *Clock) Advance(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: clock advanced by negative duration %v", d))
+	}
+	c.now = c.now.Add(d)
+}
+
+// AdvanceTo moves the clock forward to instant t. If t is in the past
+// the clock is unchanged (useful for "device becomes free at" logic).
+func (c *Clock) AdvanceTo(t Time) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset rewinds the clock to zero. Only experiment harnesses call this,
+// between independent runs.
+func (c *Clock) Reset() { c.now = 0 }

@@ -1,0 +1,66 @@
+package ssd
+
+// clockCache is a CLOCK (second-chance) approximation of LRU over int64
+// keys. The SSD model uses it for the device DRAM read cache and the FTL
+// mapping cache; it tracks presence only, never data.
+type clockCache struct {
+	capacity int
+	slots    []clockSlot
+	index    map[int64]int
+	hand     int
+}
+
+type clockSlot struct {
+	key  int64
+	ref  bool
+	used bool
+}
+
+func newClockCache(capacity int) *clockCache {
+	if capacity <= 0 {
+		panic("ssd: clockCache capacity must be positive")
+	}
+	return &clockCache{
+		capacity: capacity,
+		slots:    make([]clockSlot, capacity),
+		index:    make(map[int64]int, capacity),
+	}
+}
+
+// touch looks up key, inserting it on miss (evicting by CLOCK if full).
+// It reports whether the key was already present.
+func (c *clockCache) touch(key int64) bool {
+	if i, ok := c.index[key]; ok {
+		c.slots[i].ref = true
+		return true
+	}
+	// Find a victim slot.
+	for {
+		s := &c.slots[c.hand]
+		if !s.used {
+			s.key, s.used, s.ref = key, true, true
+			c.index[key] = c.hand
+			c.hand = (c.hand + 1) % c.capacity
+			return false
+		}
+		if s.ref {
+			s.ref = false
+			c.hand = (c.hand + 1) % c.capacity
+			continue
+		}
+		delete(c.index, s.key)
+		s.key, s.ref = key, true
+		c.index[key] = c.hand
+		c.hand = (c.hand + 1) % c.capacity
+		return false
+	}
+}
+
+// contains reports presence without updating recency.
+func (c *clockCache) contains(key int64) bool {
+	_, ok := c.index[key]
+	return ok
+}
+
+// len returns the number of cached keys.
+func (c *clockCache) len() int { return len(c.index) }

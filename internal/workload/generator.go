@@ -1,0 +1,390 @@
+package workload
+
+import (
+	"fmt"
+
+	"icash/internal/blockdev"
+	"icash/internal/core"
+	"icash/internal/sim"
+)
+
+// Request is one block-level I/O in the generated stream.
+type Request struct {
+	// Write distinguishes writes from reads.
+	Write bool
+	// LBA is the starting block address.
+	LBA int64
+	// Blocks is the request length in blocks (>= 1).
+	Blocks int
+}
+
+// Options scales a profile to simulation size.
+type Options struct {
+	// Scale multiplies the data-set size and request counts (e.g. 1/64
+	// of the paper's sizes). Zero picks DefaultScale.
+	Scale float64
+	// MaxOps caps the generated request count after scaling (0 = no cap).
+	MaxOps int
+	// Seed makes the stream reproducible.
+	Seed uint64
+	// TuneICASH, when run through the experiment harness, overrides
+	// I-CASH controller parameters (ablation studies). Ignored by the
+	// generator itself.
+	TuneICASH func(*core.Config)
+}
+
+// DefaultScale keeps the largest benchmark around a hundred thousand
+// requests and data sets in the hundreds of megabytes, preserving the
+// SSD:data-set ratio the paper uses.
+const DefaultScale = 1.0 / 64
+
+// Generator produces the deterministic request + content stream for one
+// profile. It also serves as the content oracle for the initial data
+// set (install via blockdev.Filler on every device under test).
+//
+// A Generator is not safe for concurrent use.
+type Generator struct {
+	p    Profile
+	opts Options
+	rng  *sim.Rand
+	zipf *sim.Zipf
+
+	dataBlocks  int64
+	imageBlocks int64 // per-VM image size (== dataBlocks when VMs <= 1)
+	numOps      int
+	emitted     int
+
+	// Sequential-run state.
+	nextSeq   int64
+	seqWrite  bool
+	seqRemain int
+
+	// version counts writes per block: the content of block b after its
+	// n-th write is a deterministic function of (seed, b, n).
+	version map[int64]uint32
+	// freshAnchor records, per block, the most recent write version that
+	// replaced the whole content (FreshWriteFrac); later versions mutate
+	// from that anchor instead of the original base.
+	freshAnchor map[int64]uint32
+
+	// familyBase caches the base content of each family.
+	familyBase map[int][]byte
+}
+
+// NewGenerator builds a generator for p with the given options.
+func NewGenerator(p Profile, opts Options) *Generator {
+	if opts.Scale <= 0 {
+		opts.Scale = DefaultScale
+	}
+	g := &Generator{p: p, opts: opts}
+	g.Reset()
+	return g
+}
+
+// Profile returns the underlying benchmark profile.
+func (g *Generator) Profile() Profile { return g.p }
+
+// DataBlocks returns the scaled data-set size in blocks.
+func (g *Generator) DataBlocks() int64 { return g.dataBlocks }
+
+// ImageBlocks returns the per-VM image size in blocks (the whole data
+// set for single-machine benchmarks).
+func (g *Generator) ImageBlocks() int64 { return g.imageBlocks }
+
+// NumOps returns the scaled request count.
+func (g *Generator) NumOps() int { return g.numOps }
+
+// Emitted returns how many requests have been produced since Reset.
+func (g *Generator) Emitted() int { return g.emitted }
+
+// Reset rewinds the stream to the beginning.
+func (g *Generator) Reset() {
+	p, opts := g.p, g.opts
+	dataBlocks := int64(float64(p.DataBlocks()) * opts.Scale)
+	if dataBlocks < 64 {
+		dataBlocks = 64
+	}
+	vms := p.VMs
+	if vms < 1 {
+		vms = 1
+	}
+	imageBlocks := dataBlocks / int64(vms)
+	if imageBlocks < 16 {
+		imageBlocks = 16
+	}
+	dataBlocks = imageBlocks * int64(vms)
+
+	numOps := int(float64(p.PaperOps()) * opts.Scale)
+	if numOps < 1000 {
+		numOps = 1000
+	}
+	if opts.MaxOps > 0 && numOps > opts.MaxOps {
+		numOps = opts.MaxOps
+	}
+
+	g.rng = sim.NewRand(opts.Seed ^ 0x1CA5BEEF)
+	g.dataBlocks = dataBlocks
+	g.imageBlocks = imageBlocks
+	g.numOps = numOps
+	g.emitted = 0
+	g.nextSeq = -1
+	g.seqRemain = 0
+	g.version = make(map[int64]uint32)
+	g.freshAnchor = make(map[int64]uint32)
+	g.familyBase = make(map[int][]byte)
+	if p.Skew > 0 {
+		g.zipf = sim.NewZipf(g.rng, int(imageBlocks), p.Skew)
+	} else {
+		g.zipf = nil
+	}
+}
+
+// reqBlocks samples a request length around the profile's mean using a
+// geometric-ish distribution clamped to [1, 64].
+func (g *Generator) reqBlocks(avgBytes int) int {
+	mean := float64(avgBytes) / blockdev.BlockSize
+	if mean <= 1 {
+		return 1
+	}
+	// Geometric with the right mean: P(continue) = 1 - 1/mean.
+	n := 1
+	pCont := 1 - 1/mean
+	for n < 64 && g.rng.Float64() < pCont {
+		n++
+	}
+	return n
+}
+
+// pickLBA chooses a request start address honouring VM partitioning,
+// temporal skew and the data-set bound.
+func (g *Generator) pickLBA(length int) int64 {
+	var off int64
+	if g.zipf != nil {
+		// Zipf rank -> block offset. Ranks are scattered in 8-block
+		// clusters: hot blocks are spread across the disk (no false
+		// physical locality) while multi-block requests starting at a
+		// hot block still touch warm neighbours.
+		const cluster = 8
+		rank := int64(g.zipf.Next())
+		nClusters := (g.imageBlocks + cluster - 1) / cluster
+		c := (rank / cluster * 2654435761) % nClusters
+		off = (c*cluster + rank%cluster) % g.imageBlocks
+	} else {
+		off = g.rng.Int63n(g.imageBlocks)
+	}
+	if off+int64(length) > g.imageBlocks {
+		off = g.imageBlocks - int64(length)
+		if off < 0 {
+			off = 0
+		}
+	}
+	vm := int64(0)
+	if g.p.VMs > 1 {
+		vm = int64(g.rng.Intn(g.p.VMs))
+	}
+	return vm*g.imageBlocks + off
+}
+
+// Next returns the next request, or ok == false at end of stream.
+func (g *Generator) Next() (Request, bool) {
+	if g.emitted >= g.numOps {
+		return Request{}, false
+	}
+	g.emitted++
+
+	isWrite := g.rng.Float64() >= g.p.ReadFraction()
+	var req Request
+	if g.seqRemain > 0 && g.nextSeq >= 0 {
+		// Continue the sequential run.
+		length := g.reqBlocks(g.avgBytes(g.seqWrite))
+		if g.nextSeq+int64(length) > g.dataBlocks {
+			g.seqRemain = 0
+			return g.randomRequest(isWrite), true
+		}
+		req = Request{Write: g.seqWrite, LBA: g.nextSeq, Blocks: length}
+		g.nextSeq += int64(length)
+		g.seqRemain--
+		return req, true
+	}
+	if g.rng.Float64() < g.seqStartProb() {
+		// Start a new sequential run of 4-32 requests.
+		g.seqWrite = isWrite
+		g.seqRemain = 4 + g.rng.Intn(28)
+		length := g.reqBlocks(g.avgBytes(isWrite))
+		lba := g.pickLBA(length)
+		g.nextSeq = lba + int64(length)
+		return Request{Write: isWrite, LBA: lba, Blocks: length}, true
+	}
+	return g.randomRequest(isWrite), true
+}
+
+// seqStartProb converts the profile's "fraction of requests that are
+// sequential" into the probability of *starting* a run, accounting for
+// the mean run length, so SeqFraction means what it says.
+func (g *Generator) seqStartProb() float64 {
+	const meanRun = 17.5 // runs are 4-32 requests, uniform
+	f := g.p.SeqFraction
+	if f <= 0 {
+		return 0
+	}
+	if f >= 1 {
+		return 1
+	}
+	return f / (meanRun * (1 - f))
+}
+
+func (g *Generator) avgBytes(write bool) int {
+	if write {
+		return g.p.AvgWriteBytes
+	}
+	return g.p.AvgReadBytes
+}
+
+func (g *Generator) randomRequest(write bool) Request {
+	length := g.reqBlocks(g.avgBytes(write))
+	return Request{Write: write, LBA: g.pickLBA(length), Blocks: length}
+}
+
+// ---------------------------------------------------------------------
+// Content model
+// ---------------------------------------------------------------------
+
+// familyOf maps a block to its content family. Blocks of one family
+// share a base pattern; VM clones share families by image offset.
+func (g *Generator) familyOf(lba int64) int {
+	off := lba % g.imageBlocks
+	fams := g.p.Families
+	if fams <= 0 {
+		fams = 1
+	}
+	return int((uint64(off) * 0x9E3779B97F4A7C15 >> 32) % uint64(fams))
+}
+
+// base returns (caching) the family base content.
+func (g *Generator) base(family int) []byte {
+	if b, ok := g.familyBase[family]; ok {
+		return b
+	}
+	b := make([]byte, blockdev.BlockSize)
+	r := sim.NewRand(g.opts.Seed*31 + uint64(family)*977 + 5)
+	r.Bytes(b)
+	g.familyBase[family] = b
+	return b
+}
+
+// mutate overwrites frac of buf's bytes. Changes come in contiguous
+// runs of 16-64 bytes, the way real updates modify fields and records
+// rather than isolated bytes. Positions come from posSeed and values
+// from valSeed: passing a stable posSeed across write versions models
+// the fact that successive writes to a block keep rewriting the same
+// hot fields — which is what keeps the paper's measured deltas small
+// (5-20%% of bits) even after many writes.
+func mutate(buf []byte, posSeed, valSeed uint64, frac float64) {
+	if frac <= 0 {
+		return
+	}
+	n := int(frac * float64(len(buf)))
+	if n <= 0 {
+		n = 1
+	}
+	pr := sim.NewRand(posSeed)
+	vr := sim.NewRand(valSeed)
+	for n > 0 {
+		run := 16 + pr.Intn(49)
+		if run > n {
+			run = n
+		}
+		pos := pr.Intn(len(buf))
+		for i := 0; i < run; i++ {
+			buf[(pos+i)%len(buf)] = byte(vr.Uint64())
+		}
+		n -= run
+	}
+}
+
+// isFresh reports whether the version-th write to lba replaces the
+// block with entirely new content.
+func (g *Generator) isFresh(lba int64, version uint32) bool {
+	if g.p.FreshWriteFrac <= 0 || version == 0 {
+		return false
+	}
+	h := (uint64(lba)*0x9E3779B97F4A7C15 + uint64(version)*0xD1B54A32D192ED03) ^ g.opts.Seed
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	return float64(h>>11)/(1<<53) < g.p.FreshWriteFrac
+}
+
+// contentAt writes the content of lba at the given write-version into
+// buf. Version 0 is the initial data set. anchor is the most recent
+// fresh-write version at or below version (0 = never).
+func (g *Generator) contentAt(lba int64, version, anchor uint32, buf []byte) {
+	off := lba % g.imageBlocks
+	vm := lba / g.imageBlocks
+	if anchor > 0 {
+		// The block was wholly rewritten at the anchor version: new,
+		// family-independent content.
+		r := sim.NewRand(g.opts.Seed ^ uint64(lba)*6700417 ^ uint64(anchor)*7879)
+		r.Bytes(buf)
+	} else {
+		fam := g.familyOf(lba)
+		copy(buf, g.base(fam))
+		// Per-block personalization: all but DupFrac of blocks differ
+		// from the family base by MutFrac of bytes.
+		perBlock := sim.NewRand(g.opts.Seed ^ uint64(off)*0x9E3779B97F4A7C15)
+		if perBlock.Float64() >= g.p.DupFrac {
+			seed := g.opts.Seed ^ uint64(off)*7919 + 13
+			mutate(buf, seed, seed, g.p.MutFrac)
+		}
+		// VM divergence: clone images differ slightly from image 0.
+		if vm > 0 && g.p.VMDiverge > 0 {
+			seed := g.opts.Seed ^ uint64(lba)*104729 + 29
+			mutate(buf, seed, seed, g.p.VMDiverge)
+		}
+	}
+	// Write history since the anchor: positions are (mostly) stable per
+	// block — writes keep updating the same hot fields with new values.
+	if version > anchor {
+		posSeed := g.opts.Seed ^ uint64(lba)*52361 ^ uint64(anchor)*31
+		valSeed := posSeed + uint64(version)*613
+		mutate(buf, posSeed, valSeed, g.p.MutFrac)
+		// A small drifting component so content still evolves.
+		mutate(buf, valSeed, valSeed+1, g.p.MutFrac/8)
+	}
+}
+
+// Fill is the initial-content oracle (blockdev.FillFunc): the data set
+// as it exists before the measured run.
+func (g *Generator) Fill(lba int64, buf []byte) {
+	g.contentAt(lba, 0, 0, buf)
+}
+
+// WriteContent produces the content of the next write to lba and
+// advances the block's version. The harness calls it once per written
+// block, in stream order.
+func (g *Generator) WriteContent(lba int64, buf []byte) {
+	v := g.version[lba] + 1
+	g.version[lba] = v
+	if g.isFresh(lba, v) {
+		g.freshAnchor[lba] = v
+	}
+	g.contentAt(lba, v, g.freshAnchor[lba], buf)
+}
+
+// CurrentContent reproduces the latest written content of lba (for
+// verification in tests).
+func (g *Generator) CurrentContent(lba int64, buf []byte) {
+	g.contentAt(lba, g.version[lba], g.freshAnchor[lba], buf)
+}
+
+// Summary describes the scaled stream for logs.
+func (g *Generator) Summary() string {
+	return fmt.Sprintf("%s: %d ops over %s (scale %.4g, %d VMs)",
+		g.p.Name, g.numOps, ByteSize(g.dataBlocks*blockdev.BlockSize),
+		g.opts.Scale, max(1, g.p.VMs))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,281 @@
+// Package workload synthesizes the six benchmarks of the paper's
+// evaluation (§4.4, Tables 3–4) as deterministic, content-bearing
+// block-level request streams.
+//
+// Replaying address traces is not enough for I-CASH — deltas are content
+// dependent — so each generator produces block *contents* with the
+// statistical properties the paper relies on: temporal locality (Zipf
+// reuse), sequential runs, families of similar blocks (content
+// locality), a measured fraction of bytes changed per write (the paper
+// cites 5–20% of bits, §2.2), and near-identical VM images for the
+// multi-VM experiments (§3.1).
+package workload
+
+import (
+	"fmt"
+
+	"icash/internal/blockdev"
+	"icash/internal/sim"
+)
+
+// Profile describes one benchmark's block-level behaviour. The request
+// counts, sizes and data-set sizes come from the paper's Table 4; the
+// locality parameters are tuned to reproduce the paper's qualitative
+// behaviour (which system wins on which benchmark).
+type Profile struct {
+	// Name is the benchmark name as the paper spells it.
+	Name string
+	// Description matches Table 3.
+	Description string
+
+	// DataBytes is the benchmark data-set size (Table 4).
+	DataBytes int64
+	// PaperReads and PaperWrites are the request counts from Table 4.
+	PaperReads, PaperWrites int64
+	// AvgReadBytes and AvgWriteBytes are the mean request sizes (Table 4).
+	AvgReadBytes, AvgWriteBytes int
+
+	// Skew is the Zipf exponent for temporal locality; <= 0 is uniform.
+	Skew float64
+	// SeqFraction is the probability a request continues sequentially
+	// after the previous one.
+	SeqFraction float64
+	// MutFrac is the fraction of bytes rewritten per block write — the
+	// content-locality knob (paper: 5–20% of bits change).
+	MutFrac float64
+	// Families is the number of distinct base-content families; blocks
+	// in one family are similar to each other.
+	Families int
+	// DupFrac is the fraction of blocks identical to their family base
+	// (dedup-able content).
+	DupFrac float64
+	// AppCPU is application compute per request, which sets the I/O to
+	// compute balance and thus CPU utilization and app-level throughput.
+	AppCPU sim.Duration
+	// IOsPerTxn groups requests into application transactions for
+	// throughput reporting (transactions/s, requests/s).
+	IOsPerTxn int
+
+	// VMs > 1 runs the multi-VM variant: the data set is VMs cloned
+	// images, and requests pick a VM then an offset (paper §5.1, Figures
+	// 15–16).
+	VMs int
+	// VMDiverge is the content divergence between cloned images.
+	VMDiverge float64
+
+	// VMRAMBytes is the guest RAM from Table 4; the harness models the
+	// guest OS page cache with it, identically for every storage system.
+	VMRAMBytes int64
+	// SSDCacheBytes is the SSD provisioned for I-CASH, LRU and Dedup in
+	// this benchmark's experiment (§5.1; typically ~10% of the data set).
+	SSDCacheBytes int64
+	// DeltaRAMBytes is the I-CASH delta-buffer RAM for this experiment.
+	DeltaRAMBytes int64
+	// BaseCPUUtil is the benchmark's application CPU utilization level
+	// (Figures 6b/8b/10b); the storage stack's compute is added on top.
+	BaseCPUUtil float64
+	// PCFraction is the share of VM RAM acting as a page cache over the
+	// virtual disk. Databases running with direct I/O bypass the page
+	// cache almost entirely; file and mail servers use much more of
+	// their RAM for caching.
+	PCFraction float64
+	// FreshWriteFrac is the fraction of writes that replace a block with
+	// entirely new content (new pages, new files) rather than modifying
+	// it. Fresh content defeats delta compression, so these writes are
+	// what drives I-CASH's residual SSD write-throughs (§5.3, Table 6).
+	FreshWriteFrac float64
+}
+
+// ReadFraction returns the read share of requests.
+func (p Profile) ReadFraction() float64 {
+	t := p.PaperReads + p.PaperWrites
+	if t == 0 {
+		return 0.5
+	}
+	return float64(p.PaperReads) / float64(t)
+}
+
+// PaperOps returns the paper's total request count.
+func (p Profile) PaperOps() int64 { return p.PaperReads + p.PaperWrites }
+
+// DataBlocks returns the data-set size in blocks.
+func (p Profile) DataBlocks() int64 {
+	return (p.DataBytes + blockdev.BlockSize - 1) / blockdev.BlockSize
+}
+
+// String identifies the profile.
+func (p Profile) String() string {
+	return fmt.Sprintf("%s (%s, %.0f%% reads)", p.Name, ByteSize(p.DataBytes), 100*p.ReadFraction())
+}
+
+// ByteSize formats a byte count the way the paper's tables do.
+func ByteSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.0fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.0fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// SysBench is the OLTP database benchmark (Table 4 row 1): hot, highly
+// content-local database pages, moderate writes.
+func SysBench() Profile {
+	return Profile{
+		Name:        "SysBench",
+		Description: "OLTP benchmark",
+		DataBytes:   960 << 20,
+		PaperReads:  619_000, PaperWrites: 236_000,
+		AvgReadBytes: 6656, AvgWriteBytes: 7680,
+		Skew: 1.40, SeqFraction: 0.10,
+		MutFrac: 0.02, Families: 64, DupFrac: 0.05,
+		AppCPU: 600 * sim.Microsecond, IOsPerTxn: 9,
+		VMRAMBytes: 256 << 20, SSDCacheBytes: 128 << 20, DeltaRAMBytes: 32 << 20,
+		BaseCPUUtil: 0.52, PCFraction: 0.12, FreshWriteFrac: 0.04,
+	}
+}
+
+// Hadoop is the MapReduce WordCount job (Table 4 row 2): large
+// sequential reads and writes over a 4.4 GB data set.
+func Hadoop() Profile {
+	return Profile{
+		Name:        "Hadoop",
+		Description: "MapReduce WordCount job",
+		DataBytes:   44 * (1 << 30) / 10, // 4.4 GB
+		PaperReads:  241_000, PaperWrites: 62_000,
+		AvgReadBytes: 20992, AvgWriteBytes: 101376,
+		Skew: 0.80, SeqFraction: 0.85,
+		MutFrac: 0.02, Families: 128, DupFrac: 0.10,
+		AppCPU: 1800 * sim.Microsecond, IOsPerTxn: 32,
+		VMRAMBytes: 512 << 20, SSDCacheBytes: 512 << 20, DeltaRAMBytes: 256 << 20,
+		BaseCPUUtil: 0.82, PCFraction: 0.50, FreshWriteFrac: 0.15,
+	}
+}
+
+// TPCC is the OLTP warehouse benchmark (Table 4 row 3): small random
+// transactions, frequent commits, write-rich.
+func TPCC() Profile {
+	return Profile{
+		Name:        "TPC-C",
+		Description: "Database server workload (TPCC-UVa, 5 warehouses)",
+		DataBytes:   1200 << 20,
+		PaperReads:  339_000, PaperWrites: 156_000,
+		AvgReadBytes: 13312, AvgWriteBytes: 10752,
+		Skew: 1.35, SeqFraction: 0.05,
+		MutFrac: 0.02, Families: 96, DupFrac: 0.05,
+		AppCPU: 1400 * sim.Microsecond, IOsPerTxn: 12,
+		VMRAMBytes: 256 << 20, SSDCacheBytes: 128 << 20, DeltaRAMBytes: 64 << 20,
+		BaseCPUUtil: 0.51, PCFraction: 0.70, FreshWriteFrac: 0.08,
+	}
+}
+
+// LoadSim is the Exchange mail-server load simulator (Table 4 row 4):
+// an almost fully random workload with little locality of either kind —
+// the benchmark where the paper's Fusion-io baseline wins (§5.1).
+func LoadSim() Profile {
+	return Profile{
+		Name:        "LoadSim",
+		Description: "Exchange mail server benchmark (LoadSim 2003)",
+		DataBytes:   175 * (1 << 30) / 10, // 17.5 GB
+		PaperReads:  4_329_000, PaperWrites: 704_000,
+		AvgReadBytes: 12288, AvgWriteBytes: 11776,
+		Skew: 0.05, SeqFraction: 0.02,
+		MutFrac: 0.30, Families: 4096, DupFrac: 0.01,
+		AppCPU: 400 * sim.Microsecond, IOsPerTxn: 10,
+		VMRAMBytes: 512 << 20, SSDCacheBytes: 1 << 30, DeltaRAMBytes: 256 << 20,
+		BaseCPUUtil: 0.45, PCFraction: 0.25, FreshWriteFrac: 0.50,
+	}
+}
+
+// SPECsfs is the NFS file-server benchmark (Table 4 row 5): heavily
+// write-intensive with good content similarity between old and new data.
+func SPECsfs() Profile {
+	return Profile{
+		Name:        "SPEC-sfs",
+		Description: "NFS file server (100 LOADs)",
+		DataBytes:   10 << 30,
+		PaperReads:  64_000, PaperWrites: 715_000,
+		AvgReadBytes: 6144, AvgWriteBytes: 17408,
+		Skew: 0.70, SeqFraction: 0.30,
+		MutFrac: 0.03, Families: 256, DupFrac: 0.08,
+		AppCPU: 450 * sim.Microsecond, IOsPerTxn: 8,
+		VMRAMBytes: 512 << 20, SSDCacheBytes: 1 << 30, DeltaRAMBytes: 128 << 20,
+		BaseCPUUtil: 0.48, PCFraction: 0.50, FreshWriteFrac: 0.60,
+	}
+}
+
+// RUBiS is the auction-site e-commerce benchmark (Table 4 row 6): over
+// 90% reads over a hot 1.8 GB database.
+func RUBiS() Profile {
+	return Profile{
+		Name:        "RUBiS",
+		Description: "e-Commerce web server workload (300 clients)",
+		DataBytes:   1800 << 20,
+		PaperReads:  799_000, PaperWrites: 7_000,
+		AvgReadBytes: 4608, AvgWriteBytes: 20480,
+		Skew: 1.30, SeqFraction: 0.10,
+		MutFrac: 0.05, Families: 64, DupFrac: 0.05,
+		AppCPU: 900 * sim.Microsecond, IOsPerTxn: 11,
+		VMRAMBytes: 256 << 20, SSDCacheBytes: 128 << 20, DeltaRAMBytes: 32 << 20,
+		BaseCPUUtil: 0.55, PCFraction: 0.25, FreshWriteFrac: 0.05,
+	}
+}
+
+// TPCC5VM is five concurrent TPC-C virtual machines with distinct data
+// sets (Table 4 row 7; Figure 15).
+func TPCC5VM() Profile {
+	return Profile{
+		Name:        "TPC-C 5VMs",
+		Description: "Five TPC-C virtual machines, 1-5 warehouses",
+		DataBytes:   52 * (1 << 30) / 10, // 5.2 GB
+		PaperReads:  256_000, PaperWrites: 153_000,
+		AvgReadBytes: 23552, AvgWriteBytes: 23040,
+		Skew: 1.35, SeqFraction: 0.05,
+		MutFrac: 0.04, Families: 96, DupFrac: 0.05,
+		AppCPU: 1400 * sim.Microsecond, IOsPerTxn: 12,
+		VMs: 5, VMDiverge: 0.01,
+		VMRAMBytes: 256 << 20, SSDCacheBytes: 512 << 20, DeltaRAMBytes: 512 << 20,
+		BaseCPUUtil: 0.50, PCFraction: 0.70, FreshWriteFrac: 0.08,
+	}
+}
+
+// RUBiS5VM is five concurrent RUBiS virtual machines (Table 4 row 8;
+// Figure 16).
+func RUBiS5VM() Profile {
+	return Profile{
+		Name:        "RUBiS 5VMs",
+		Description: "Five RUBiS virtual machines, 20-24 items per page",
+		DataBytes:   10 << 30,
+		PaperReads:  3_396_000, PaperWrites: 52_000,
+		AvgReadBytes: 5632, AvgWriteBytes: 25088,
+		Skew: 1.30, SeqFraction: 0.10,
+		MutFrac: 0.05, Families: 64, DupFrac: 0.05,
+		AppCPU: 900 * sim.Microsecond, IOsPerTxn: 11,
+		VMs: 5, VMDiverge: 0.01,
+		VMRAMBytes: 256 << 20, SSDCacheBytes: 512 << 20, DeltaRAMBytes: 512 << 20,
+		BaseCPUUtil: 0.55, PCFraction: 0.25, FreshWriteFrac: 0.05,
+	}
+}
+
+// Table4 returns every benchmark profile in the paper's Table 4 order.
+func Table4() []Profile {
+	return []Profile{
+		SysBench(), Hadoop(), TPCC(), LoadSim(), SPECsfs(), RUBiS(),
+		TPCC5VM(), RUBiS5VM(),
+	}
+}
+
+// ByName returns the profile with the given name (case-sensitive, as
+// printed by Table4).
+func ByName(name string) (Profile, bool) {
+	for _, p := range Table4() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
