@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check build vet test race bench examples
+
+check: vet build race ## everything CI runs
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/recovery
+	$(GO) run ./examples/oltp
+	$(GO) run ./examples/vmimages

@@ -19,6 +19,7 @@ import (
 
 	"icash/internal/blockdev"
 	"icash/internal/harness"
+	"icash/internal/metrics"
 	"icash/internal/workload"
 )
 
@@ -101,6 +102,16 @@ func main() {
 		st.FlushRuns, st.LogBlocksWritten, st.DeltasPacked)
 	fmt.Fprintf(w, "  cleaner runs / deltas rescued\t%d / %d\n", st.LogCleanerRuns, st.DeltasRescued)
 	w.Flush()
+
+	fmt.Println("\nresilience (fault handling and self-healing):")
+	if table := metrics.FormatCounters(metrics.ResilienceCounters(st), "  ", true); table != "" {
+		fmt.Print(table)
+	} else {
+		fmt.Println("  no faults observed")
+	}
+	if ctrl.Degraded() {
+		fmt.Println("  ** array is running in HDD-only degraded mode **")
+	}
 
 	fmt.Println("\nevictions:")
 	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

@@ -183,6 +183,22 @@ func (a *Array) SimulatedTime() time.Duration { return time.Duration(a.clock.Now
 // Controller exposes the underlying controller for advanced inspection.
 func (a *Array) Controller() *core.Controller { return a.ctrl }
 
+// Degraded reports whether the array has fallen back to HDD-only
+// operation after losing its SSD.
+func (a *Array) Degraded() bool { return a.ctrl.Degraded() }
+
+// FailSSD simulates losing the whole SSD device: RAM-resident content
+// is salvaged to the HDD home region where possible, everything else is
+// accounted as DegradedDataLoss, and the array continues serving
+// requests in HDD-only degraded mode.
+func (a *Array) FailSSD() { a.ctrl.DegradeSSD() }
+
+// InjectHDDLatentError plants a latent sector error at an HDD LBA:
+// reads of that sector fail until a write remaps it. Self-healing
+// experiments use this to exercise the controller's retry, scrub and
+// fallback paths.
+func (a *Array) InjectHDDLatentError(lba int64) { a.hdd.InjectLatentError(lba) }
+
 // Crash simulates a power failure: all RAM state is lost, and a new
 // Array is rebuilt from the surviving SSD and HDD contents by replaying
 // the delta log (paper §3.3). The original Array must not be used

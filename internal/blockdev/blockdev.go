@@ -22,7 +22,75 @@ var (
 	ErrOutOfRange = errors.New("blockdev: block address out of range")
 	// ErrBadBuffer reports a data buffer whose length is not BlockSize.
 	ErrBadBuffer = errors.New("blockdev: buffer length must equal BlockSize")
+
+	// ErrMedia reports an uncorrectable media error: a latent sector
+	// error on disk or an uncorrectable bit-error/program failure on
+	// flash. The affected block stays unreadable until rewritten
+	// (sector remap / page reprogram); other blocks are unaffected.
+	ErrMedia = errors.New("blockdev: uncorrectable media error")
+	// ErrTransient reports a transient device timeout. The operation
+	// did not take effect; an immediate retry may succeed.
+	ErrTransient = errors.New("blockdev: transient device timeout")
+	// ErrDeviceLost reports whole-device failure (pulled drive, dead
+	// controller, power cut mid-operation). Every subsequent request
+	// fails the same way until the device is restored.
+	ErrDeviceLost = errors.New("blockdev: device lost")
 )
+
+// ErrorClass partitions device errors by the recovery action they call
+// for. Consumers switch on Classify(err) instead of matching sentinel
+// errors at every call site.
+type ErrorClass int
+
+const (
+	// ClassNone is the class of a nil error.
+	ClassNone ErrorClass = iota
+	// ClassTransient errors are worth retrying with backoff.
+	ClassTransient
+	// ClassMedia errors are permanent for one block; the content must
+	// be repaired from a redundant copy and rewritten.
+	ClassMedia
+	// ClassDeviceLost errors mean the whole device is gone; the caller
+	// must degrade to whatever redundancy remains.
+	ClassDeviceLost
+	// ClassOther covers caller bugs (range/buffer validation) and
+	// unrecognized errors; retrying cannot help.
+	ClassOther
+)
+
+// String names the class for diagnostics.
+func (c ErrorClass) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassTransient:
+		return "transient"
+	case ClassMedia:
+		return "media"
+	case ClassDeviceLost:
+		return "device-lost"
+	default:
+		return "other"
+	}
+}
+
+// Classify maps an error returned by a Device operation to its
+// recovery class. Wrapped errors (fmt.Errorf with %w) classify the
+// same as their underlying sentinel.
+func Classify(err error) ErrorClass {
+	switch {
+	case err == nil:
+		return ClassNone
+	case errors.Is(err, ErrTransient):
+		return ClassTransient
+	case errors.Is(err, ErrMedia):
+		return ClassMedia
+	case errors.Is(err, ErrDeviceLost):
+		return ClassDeviceLost
+	default:
+		return ClassOther
+	}
+}
 
 // Device is a fixed-block storage device on the simulated timeline.
 //

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"icash/internal/blockdev"
+	"icash/internal/sim"
 )
 
 // Config parameterizes a Controller. NewDefaultConfig supplies the
@@ -85,6 +86,15 @@ type Config struct {
 	// installation so the write-through path (§5.3) always has room for
 	// incompressible writes. Zero derives SSDBlocks/8.
 	ReserveSlots int
+
+	// MaxRetries bounds retries of transient device errors per device
+	// operation. Zero derives the default (3); negative disables
+	// retrying entirely.
+	MaxRetries int
+	// RetryBackoff is the simulated-clock delay charged before the
+	// first retry of a transient error; it doubles on each further
+	// attempt. Zero derives the default (500 µs).
+	RetryBackoff sim.Duration
 }
 
 // NewDefaultConfig returns the prototype constants from the paper for a
@@ -154,6 +164,15 @@ func (c *Config) validate() error {
 		if c.ReserveSlots < 4 {
 			c.ReserveSlots = 4
 		}
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 500 * sim.Microsecond
 	}
 	return nil
 }

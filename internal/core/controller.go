@@ -20,6 +20,12 @@ type refSlot struct {
 	refcnt int           // attached virtual blocks
 	donor  int64         // lba whose content was installed, -1 when unknown
 	sigv   sig.Signature // signature of the slot content
+	crc    uint32        // CRC32 of the slot content (repair validation)
+	// homeLBA is the HDD home location holding a backup of the slot
+	// content (the donor's home at install time), or -1. scrubSlot
+	// re-fetches damaged reference content from here; the CRC guards
+	// against the backup having been overwritten since.
+	homeLBA int64
 }
 
 // Controller is the I-CASH device: an SSD + HDD pair coupled by the
@@ -49,6 +55,17 @@ type Controller struct {
 	// quarantine holds freed SSD slots that may not be reused until the
 	// next log flush commits the tombstones that detached them.
 	quarantine []int64
+	// retiredSlots lists SSD blocks permanently removed from circulation
+	// after unrecoverable program failures (see resilience.go).
+	retiredSlots []int64
+
+	// ssdLost marks HDD-only degraded mode: the SSD failed wholesale and
+	// every request bypasses it (see degradeSSD).
+	ssdLost bool
+
+	// badLogBlocks marks HDD log blocks retired after write failures;
+	// the flush frontier skips them.
+	badLogBlocks map[int64]bool
 
 	// dirtyQ is the FIFO of virtual blocks with unflushed deltas or
 	// pending control records, in write order (flush packs in this
@@ -106,21 +123,22 @@ func New(cfg Config, ssdDev, hddDev blockdev.Device, clock *sim.Clock, cpu *cpum
 			hddDev.Blocks(), cfg.VirtualBlocks, cfg.LogBlocks)
 	}
 	c := &Controller{
-		cfg:         cfg,
-		clock:       clock,
-		cpu:         cpu,
-		costs:       cpumodel.DefaultCosts(),
-		ssd:         ssdDev,
-		hdd:         hddDev,
-		heat:        sig.NewHeatmap(),
-		blocks:      make(map[int64]*vblock),
-		deltaBudget: ram.NewBudget(cfg.DeltaRAMBytes),
-		dataBudget:  ram.NewBudget(cfg.DataRAMBytes),
-		slots:       make(map[int64]*refSlot),
-		logIndex:    make(map[int64]logRec),
-		logMeta:     make(map[int64][]entryMeta),
-		perLba:      make(map[int64]int),
-		sameOffset:  make(map[int64][]*vblock),
+		cfg:          cfg,
+		clock:        clock,
+		cpu:          cpu,
+		costs:        cpumodel.DefaultCosts(),
+		ssd:          ssdDev,
+		hdd:          hddDev,
+		heat:         sig.NewHeatmap(),
+		blocks:       make(map[int64]*vblock),
+		deltaBudget:  ram.NewBudget(cfg.DeltaRAMBytes),
+		dataBudget:   ram.NewBudget(cfg.DataRAMBytes),
+		slots:        make(map[int64]*refSlot),
+		badLogBlocks: make(map[int64]bool),
+		logIndex:     make(map[int64]logRec),
+		logMeta:      make(map[int64][]entryMeta),
+		perLba:       make(map[int64]int),
+		sameOffset:   make(map[int64][]*vblock),
 	}
 	c.freeSlots = make([]int64, 0, cfg.SSDBlocks)
 	for i := cfg.SSDBlocks - 1; i >= 0; i-- {
@@ -191,7 +209,7 @@ func (c *Controller) getOrLoad(lba int64, forWrite bool) (*vblock, sim.Duration,
 	var lat sim.Duration
 	if !forWrite {
 		buf := make([]byte, blockdev.BlockSize)
-		d, err := c.hdd.ReadBlock(lba, buf)
+		d, err := c.hddRead(lba, buf)
 		if err != nil {
 			return nil, 0, fmt.Errorf("core: home read lba %d: %w", lba, err)
 		}
@@ -490,7 +508,7 @@ func (c *Controller) evictToHome(v *vblock) error {
 
 // writeHome writes content to v's HDD home location (background time).
 func (c *Controller) writeHome(v *vblock, content []byte) error {
-	d, err := c.hdd.WriteBlock(v.lba, content)
+	d, err := c.hddWrite(v.lba, content)
 	if err != nil {
 		return fmt.Errorf("core: home write lba %d: %w", v.lba, err)
 	}

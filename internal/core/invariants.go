@@ -76,8 +76,21 @@ func (c *Controller) CheckInvariants() error {
 		}
 		used[idx] = "quarantined"
 	}
+	for _, idx := range c.retiredSlots {
+		if prev, ok := used[idx]; ok {
+			return fmt.Errorf("core: slot %d both retired and %s", idx, prev)
+		}
+		used[idx] = "retired"
+	}
 	if int64(len(used)) != c.cfg.SSDBlocks {
 		return fmt.Errorf("core: %d slots accounted, SSD has %d", len(used), c.cfg.SSDBlocks)
+	}
+
+	// Retired log blocks must not be tracked by the cleaner.
+	for b := range c.badLogBlocks {
+		if len(c.logMeta[b]) > 0 {
+			return fmt.Errorf("core: retired log block %d still tracked by the cleaner", b)
+		}
 	}
 
 	// RAM budgets.

@@ -112,7 +112,7 @@ func (c *Controller) materialize(v *vblock, background bool) ([]byte, sim.Durati
 	}
 	if v.hddHome {
 		buf := make([]byte, blockdev.BlockSize)
-		d, err := c.hdd.ReadBlock(v.lba, buf)
+		d, err := c.hddRead(v.lba, buf)
 		if err != nil {
 			return nil, 0, pathHome, fmt.Errorf("core: home read lba %d: %w", v.lba, err)
 		}
@@ -133,7 +133,7 @@ func (c *Controller) deltaFromLog(lba int64) ([]byte, error) {
 		return nil, fmt.Errorf("core: lba %d: no durable delta record", lba)
 	}
 	buf := make([]byte, blockdev.BlockSize)
-	d, err := c.hdd.ReadBlock(c.cfg.VirtualBlocks+rec.block, buf)
+	d, err := c.hddRead(c.cfg.VirtualBlocks+rec.block, buf)
 	if err != nil {
 		return nil, err
 	}
@@ -160,9 +160,16 @@ func (c *Controller) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
 		return 0, err
 	}
 	if err := c.periodic(); err != nil {
-		return 0, err
+		// Whole-SSD loss surfacing from background work (scan, flush)
+		// degrades the array but does not fail the host request.
+		if !c.maybeDegradeSSD(err) {
+			return 0, err
+		}
 	}
 	c.cpu.ChargeStorage(c.costs.PerRequest)
+	if c.ssdLost {
+		c.Stats.DegradedOps++
+	}
 
 	v, lat, err := c.getOrLoad(lba, false)
 	if err != nil {
@@ -171,6 +178,12 @@ func (c *Controller) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
 	c.pinned = v
 	defer func() { c.pinned = nil }()
 	content, lat2, path, err := c.materialize(v, false)
+	if err != nil && c.faultRecovered(v, err) {
+		// The failing dependency is gone (SSD degraded away, or the
+		// block was salvaged to its home location); one retry serves
+		// from what remains.
+		content, lat2, path, err = c.materialize(v, false)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -214,9 +227,14 @@ func (c *Controller) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
 		return 0, err
 	}
 	if err := c.periodic(); err != nil {
-		return 0, err
+		if !c.maybeDegradeSSD(err) {
+			return 0, err
+		}
 	}
 	c.cpu.ChargeStorage(c.costs.PerRequest)
+	if c.ssdLost {
+		c.Stats.DegradedOps++
+	}
 
 	v, _, err := c.getOrLoad(lba, true)
 	if err != nil {
@@ -228,11 +246,15 @@ func (c *Controller) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
 	c.cpu.ChargeStorage(c.costs.Signature)
 	c.heat.Record(newSig)
 
-	var lat sim.Duration
-	if v.slotRef != nil {
-		lat, err = c.writeAttached(v, buf, newSig)
-	} else {
-		lat, err = c.writeIndependent(v, buf, newSig)
+	dispatch := func() (sim.Duration, error) {
+		if v.slotRef != nil {
+			return c.writeAttached(v, buf, newSig)
+		}
+		return c.writeIndependent(v, buf, newSig)
+	}
+	lat, err := dispatch()
+	if err != nil && c.faultRecovered(v, err) {
+		lat, err = dispatch()
 	}
 	if err != nil {
 		return 0, err
@@ -290,6 +312,17 @@ func (c *Controller) writeAttached(v *vblock, buf []byte, newSig sig.Signature) 
 // RAM data block.
 func (c *Controller) writeIndependent(v *vblock, buf []byte, newSig sig.Signature) (sim.Duration, error) {
 	v.sigv = newSig // independents re-sign on every write (paper §4.3)
+	if c.ssdLost {
+		// HDD-only degraded mode: no similarity detection, no
+		// write-through — plain RAM + home semantics.
+		v.kind = Independent
+		v.hddHome = false
+		if err := c.cacheData(v, buf, true); err != nil {
+			return 0, err
+		}
+		c.Stats.WriteIndependent++
+		return ram.AccessLatency, nil
+	}
 	if s := c.findSimilarSlot(newSig); s != nil {
 		base, _, err := c.slotContent(s, true)
 		if err != nil {
@@ -339,7 +372,7 @@ func (c *Controller) writeIndependent(v *vblock, buf []byte, newSig sig.Signatur
 // reference + tiny delta without waiting for popularity to accumulate.
 func (c *Controller) tryFirstLoadPair(v *vblock) {
 	key := c.offsetKey(v.lba)
-	if key < 0 || v.dataRAM == nil {
+	if key < 0 || v.dataRAM == nil || c.ssdLost {
 		return
 	}
 	const maxCandidates = 3

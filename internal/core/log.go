@@ -2,7 +2,9 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"icash/internal/blockdev"
 	"icash/internal/sim"
@@ -15,8 +17,9 @@ import (
 //
 // On-disk log block layout (little endian):
 //
-//	[0:4)  magic "ICLG"
-//	[4:6)  record count
+//	[0:4)   magic "ICLG"
+//	[4:6)   record count
+//	[6:10)  CRC32 (IEEE) of the whole block with this field zeroed
 //	then per record:
 //	    kind   byte   (1 delta, 2 ssd pointer, 3 tombstone)
 //	    flags  byte   (bit 0: donor — the LBA is the slot's donor)
@@ -38,9 +41,16 @@ const (
 	entryTombstone entryKind = 3
 )
 
+// ErrCorruptLogBlock reports a log block whose magic is present but
+// whose checksum or structure does not hold — the signature of a torn
+// (partially persisted) or corrupted log write. Recovery treats such a
+// block as holding no records: whatever it carried was the unflushed
+// tail of the bounded reliability window (§3.3).
+var ErrCorruptLogBlock = errors.New("core: corrupt log block")
+
 const (
 	logMagic      = "ICLG"
-	logHeaderSize = 6
+	logHeaderSize = 10
 	entryHeadSize = 1 + 1 + 8 + 8 + 8 + 2
 	// flagDonor marks the record's LBA as the donor of its slot.
 	flagDonor byte = 1 << 0
@@ -62,11 +72,12 @@ type logEntry struct {
 // entryMeta is the RAM-resident metadata the cleaner keeps per packed
 // record (no delta bytes).
 type entryMeta struct {
-	kind entryKind
-	lba  int64
-	seq  uint64
-	slot int64
-	size int32 // packed size including header
+	kind  entryKind
+	flags byte
+	lba   int64
+	seq   uint64
+	slot  int64
+	size  int32 // packed size including header
 }
 
 // logRec is the logIndex value: where the newest durable record for an
@@ -97,9 +108,14 @@ func (c *Controller) clearLogIndex(lba int64) {
 }
 
 // logCapacityBytes is the usable payload capacity of the log region,
-// with one block of slack for the write frontier.
+// with one block of slack for the write frontier. Log blocks retired
+// after write failures no longer count.
 func (c *Controller) logCapacityBytes() int64 {
-	return (c.cfg.LogBlocks - 1) * int64(blockdev.BlockSize-logHeaderSize)
+	usable := c.cfg.LogBlocks - 1 - int64(len(c.badLogBlocks))
+	if usable < 1 {
+		usable = 1
+	}
+	return usable * int64(blockdev.BlockSize-logHeaderSize)
 }
 
 // shedLogPressure keeps the live-record volume within the log capacity
@@ -222,14 +238,50 @@ func (c *Controller) flushDeltas() error {
 	guard := 4 * c.cfg.LogBlocks // progress guard against a too-small log
 	for len(pending) > 0 {
 		if guard--; guard < 0 {
+			c.requeuePending(pending)
 			return fmt.Errorf("core: delta log too small for live delta volume (LogBlocks=%d)", c.cfg.LogBlocks)
 		}
+		if int64(len(c.badLogBlocks)) >= c.cfg.LogBlocks {
+			c.requeuePending(pending)
+			return fmt.Errorf("core: every log block has failed: %w", blockdev.ErrMedia)
+		}
+		for c.badLogBlocks[c.logHead] {
+			c.logHead = (c.logHead + 1) % c.cfg.LogBlocks
+		}
 		target := c.logHead
+		// The frontier only ever lands on a block with no live records:
+		// the previous iteration (or recovery) already relocated them.
+		// Cleaning target here is a defensive no-op in normal operation;
+		// it does work only when that invariant could not be established
+		// (a recovered log with every block live).
 		rescued, err := c.cleanLogBlock(target)
 		if err != nil {
+			c.requeuePending(pending)
 			return err
 		}
-		pending = append(pending, rescued...)
+		// Rescue-before-overwrite: relocate the NEXT block's live records
+		// into THIS write, so by the time the frontier reaches that block
+		// its old copies are already durable elsewhere. Packing a block's
+		// rescued records into the very write that overwrites their own
+		// block would lose them to a torn write at a crash point.
+		next := (target + 1) % c.cfg.LogBlocks
+		for c.badLogBlocks[next] && next != target {
+			next = (next + 1) % c.cfg.LogBlocks
+		}
+		if next != target {
+			r2, err := c.cleanLogBlock(next)
+			if err != nil {
+				c.requeuePending(append(rescued, pending...))
+				return err
+			}
+			rescued = append(rescued, r2...)
+		}
+		if len(rescued) > 0 {
+			// Rescued records go first: one block's records always fit in
+			// one block, so they commit in this write, ahead of the
+			// frontier overwriting their source.
+			pending = append(rescued, pending...)
+		}
 
 		// Pack records into one block.
 		n := 0
@@ -243,15 +295,28 @@ func (c *Controller) flushDeltas() error {
 			}
 			e.seq = c.nextSeq()
 			used += sz
-			metas = append(metas, entryMeta{kind: e.kind, lba: e.lba, seq: e.seq, slot: e.slot, size: int32(sz)})
+			metas = append(metas, entryMeta{kind: e.kind, flags: e.flags, lba: e.lba, seq: e.seq, slot: e.slot, size: int32(sz)})
 			n++
 		}
 		if n == 0 {
 			return fmt.Errorf("core: delta record larger than a log block")
 		}
 		encodeLogBlock(buf, pending[:n])
-		d, err := c.hdd.WriteBlock(c.cfg.VirtualBlocks+target, buf)
+		d, err := c.hddWrite(c.cfg.VirtualBlocks+target, buf)
 		if err != nil {
+			if blockdev.Classify(err) == blockdev.ClassMedia {
+				// Latent defect under the log frontier: retire this log
+				// block and pack the same records into the next one.
+				// Nothing from this block landed, so nothing is lost.
+				c.badLogBlocks[target] = true
+				c.Stats.BadLogBlocks++
+				c.logHead = (c.logHead + 1) % c.cfg.LogBlocks
+				continue
+			}
+			// Device-level failure: requeue everything still pending so
+			// no delta or tombstone silently vanishes, and surface the
+			// error. The next flush attempt retries the whole batch.
+			c.requeuePending(pending)
 			return fmt.Errorf("core: log write: %w", err)
 		}
 		c.Stats.BackgroundHDDTime += d
@@ -283,6 +348,16 @@ func (c *Controller) flushDeltas() error {
 	return nil
 }
 
+// requeuePending pushes not-yet-durable flush work back onto the
+// control queue after a mid-flush failure: every entry keeps its
+// payload (delta records carry their bytes), so the next flush packs
+// the same records again with fresh sequence numbers. Without this, a
+// failed log write would silently drop tombstones and deltas whose
+// vblocks were already marked clean in the dirty queue.
+func (c *Controller) requeuePending(pending []logEntry) {
+	c.control = append(c.control, pending...)
+}
+
 // cleanLogBlock prepares log block b for overwriting: every record in it
 // is forgotten, and records that are still the newest for their LBA are
 // rescued — re-queued so they land in a fresh block. Returns the rescue
@@ -299,7 +374,7 @@ func (c *Controller) cleanLogBlock(b int64) ([]logEntry, error) {
 			return nil
 		}
 		blockData = make([]byte, blockdev.BlockSize)
-		d, err := c.hdd.ReadBlock(c.cfg.VirtualBlocks+b, blockData)
+		d, err := c.hddRead(c.cfg.VirtualBlocks+b, blockData)
 		if err != nil {
 			return fmt.Errorf("core: log clean read: %w", err)
 		}
@@ -322,18 +397,21 @@ func (c *Controller) cleanLogBlock(b int64) ([]logEntry, error) {
 		v := c.blocks[m.lba]
 		switch m.kind {
 		case entryDelta:
-			// Live only if the block still decodes against this slot
-			// and has no newer pending delta.
-			if v == nil || v.slotRef == nil || v.slotRef.index != m.slot || v.ssdCurrent {
-				continue
-			}
-			if v.deltaDirty {
-				continue // a newer delta is already pending
-			}
+			// This is the newest DURABLE record for the LBA, so it must
+			// survive even when RAM state says a newer version is coming
+			// (a dirty delta, a promotion): that newer version is not
+			// durable until its own record commits, and a crash in
+			// between must still find this one. Rescued records are
+			// repacked ahead of pending work, so the superseding record
+			// always commits with a higher sequence number.
 			var bytes []byte
-			if v.deltaRAM != nil {
+			if v != nil && v.slotRef != nil && v.slotRef.index == m.slot &&
+				!v.ssdCurrent && !v.deltaDirty && v.deltaRAM != nil {
 				bytes = v.deltaRAM
 			} else {
+				// RAM does not hold this exact delta version (evicted
+				// metadata, or a newer dirty delta in its place): read
+				// the logged bytes back from the block itself.
 				if err := readBlock(); err != nil {
 					return rescued, err
 				}
@@ -351,18 +429,11 @@ func (c *Controller) cleanLogBlock(b int64) ([]logEntry, error) {
 					return rescued, fmt.Errorf("core: log block %d missing seq %d", b, m.seq)
 				}
 			}
-			var flags byte
-			if v.slotRef.donor == v.lba {
-				flags |= flagDonor
-			}
-			rescued = append(rescued, logEntry{kind: entryDelta, flags: flags, lba: m.lba, slot: m.slot, delta: bytes})
+			rescued = append(rescued, logEntry{kind: entryDelta, flags: m.flags, lba: m.lba, slot: m.slot, delta: bytes})
 			c.Stats.DeltasRescued++
 			cleaned = true
 		case entryPointer:
-			if v == nil || v.slotRef == nil || v.slotRef.index != m.slot || !v.ssdCurrent {
-				continue
-			}
-			rescued = append(rescued, logEntry{kind: entryPointer, lba: m.lba, slot: m.slot})
+			rescued = append(rescued, logEntry{kind: entryPointer, flags: m.flags, lba: m.lba, slot: m.slot})
 			cleaned = true
 		case entryTombstone:
 			// Recovery replays the newest *raw* record per LBA, so a
@@ -380,6 +451,16 @@ func (c *Controller) cleanLogBlock(b int64) ([]logEntry, error) {
 		c.Stats.LogCleanerRuns++
 	}
 	return rescued, nil
+}
+
+// logBlockCRC computes the block checksum: CRC32-IEEE over the whole
+// block with the checksum field treated as zero (computed piecewise so
+// the caller's buffer is never mutated).
+func logBlockCRC(buf []byte) uint32 {
+	var zero [4]byte
+	crc := crc32.Update(0, crc32.IEEETable, buf[0:6])
+	crc = crc32.Update(crc, crc32.IEEETable, zero[:])
+	return crc32.Update(crc, crc32.IEEETable, buf[10:])
 }
 
 // encodeLogBlock serializes records into buf (4 KB, zero padded).
@@ -402,20 +483,26 @@ func encodeLogBlock(buf []byte, entries []logEntry) {
 		copy(buf[off:], e.delta)
 		off += len(e.delta)
 	}
+	binary.LittleEndian.PutUint32(buf[6:10], logBlockCRC(buf))
 }
 
 // decodeLogBlock parses a log block; a block that never held log data
-// (zeroes) yields no entries.
+// (no magic) yields no entries. A block whose magic is present but
+// whose checksum or structure fails returns ErrCorruptLogBlock — the
+// torn-write signature.
 func decodeLogBlock(buf []byte) ([]logEntry, error) {
 	if string(buf[0:4]) != logMagic {
 		return nil, nil
+	}
+	if got, want := binary.LittleEndian.Uint32(buf[6:10]), logBlockCRC(buf); got != want {
+		return nil, fmt.Errorf("%w: checksum %08x, computed %08x", ErrCorruptLogBlock, got, want)
 	}
 	count := int(binary.LittleEndian.Uint16(buf[4:6]))
 	entries := make([]logEntry, 0, count)
 	off := logHeaderSize
 	for i := 0; i < count; i++ {
 		if off+entryHeadSize > len(buf) {
-			return nil, fmt.Errorf("log record %d overruns block", i)
+			return nil, fmt.Errorf("%w: record %d overruns block", ErrCorruptLogBlock, i)
 		}
 		e := logEntry{
 			kind:  entryKind(buf[off]),
@@ -427,7 +514,7 @@ func decodeLogBlock(buf []byte) ([]logEntry, error) {
 		dlen := int(binary.LittleEndian.Uint16(buf[off+26:]))
 		off += entryHeadSize
 		if off+dlen > len(buf) {
-			return nil, fmt.Errorf("log record %d delta overruns block", i)
+			return nil, fmt.Errorf("%w: record %d delta overruns block", ErrCorruptLogBlock, i)
 		}
 		if dlen > 0 {
 			e.delta = append([]byte(nil), buf[off:off+dlen]...)
@@ -436,7 +523,7 @@ func decodeLogBlock(buf []byte) ([]logEntry, error) {
 		switch e.kind {
 		case entryDelta, entryPointer, entryTombstone:
 		default:
-			return nil, fmt.Errorf("log record %d has unknown kind %d", i, e.kind)
+			return nil, fmt.Errorf("%w: record %d has unknown kind %d", ErrCorruptLogBlock, i, e.kind)
 		}
 		entries = append(entries, e)
 	}
@@ -449,7 +536,7 @@ func decodeLogBlock(buf []byte) ([]logEntry, error) {
 // yields many I/Os" effect. Returns the synchronous latency.
 func (c *Controller) loadDeltaBlock(b int64) (sim.Duration, error) {
 	buf := make([]byte, blockdev.BlockSize)
-	d, err := c.hdd.ReadBlock(c.cfg.VirtualBlocks+b, buf)
+	d, err := c.hddRead(c.cfg.VirtualBlocks+b, buf)
 	if err != nil {
 		return 0, fmt.Errorf("core: log read: %w", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -47,13 +48,28 @@ func (c *Controller) replayLog() error {
 	var maxSeqBlock int64
 	buf := make([]byte, blockdev.BlockSize)
 	for b := int64(0); b < c.cfg.LogBlocks; b++ {
-		d, err := c.hdd.ReadBlock(c.cfg.VirtualBlocks+b, buf)
+		d, err := c.hddRead(c.cfg.VirtualBlocks+b, buf)
 		if err != nil {
+			if blockdev.Classify(err) == blockdev.ClassMedia {
+				// Unreadable log block: retire it. Its records were
+				// either superseded elsewhere or fall inside the bounded
+				// loss window.
+				c.badLogBlocks[b] = true
+				c.Stats.BadLogBlocks++
+				continue
+			}
 			return fmt.Errorf("core: recovery read log block %d: %w", b, err)
 		}
 		c.Stats.BackgroundHDDTime += d
 		entries, err := decodeLogBlock(buf)
 		if err != nil {
+			if errors.Is(err, ErrCorruptLogBlock) {
+				// Torn write: the crash interrupted this block's flush,
+				// so its records were never acknowledged as durable.
+				// Skip it and replay everything that did commit.
+				c.Stats.TornLogBlocks++
+				continue
+			}
 			return fmt.Errorf("core: recovery log block %d: %w", b, err)
 		}
 		if len(entries) == 0 {
@@ -62,7 +78,7 @@ func (c *Controller) replayLog() error {
 		metas := make([]entryMeta, 0, len(entries))
 		for i := range entries {
 			e := entries[i]
-			metas = append(metas, entryMeta{kind: e.kind, lba: e.lba, seq: e.seq, slot: e.slot, size: int32(entrySize(&e))})
+			metas = append(metas, entryMeta{kind: e.kind, flags: e.flags, lba: e.lba, seq: e.seq, slot: e.slot, size: int32(entrySize(&e))})
 			c.perLba[e.lba]++
 			if cur, ok := latest[e.lba]; !ok || e.seq > cur.e.seq {
 				latest[e.lba] = newest{e: e, block: b}
@@ -92,7 +108,7 @@ func (c *Controller) replayLog() error {
 			return b, nil
 		}
 		b := make([]byte, blockdev.BlockSize)
-		d, err := c.ssd.ReadBlock(idx, b)
+		d, err := c.ssdRead(idx, b)
 		if err != nil {
 			return nil, err
 		}
@@ -107,15 +123,35 @@ func (c *Controller) replayLog() error {
 		if idx < 0 || idx >= c.cfg.SSDBlocks {
 			return nil, fmt.Errorf("core: recovery: log references slot %d outside SSD", idx)
 		}
-		s := &refSlot{index: idx, donor: -1}
+		s := &refSlot{index: idx, donor: -1, homeLBA: -1}
 		content, err := readSlot(idx)
 		if err != nil {
 			return nil, err
 		}
 		s.sigv = sig.Compute(content)
+		s.crc = contentCRC(content)
 		c.slots[idx] = s
 		c.slotOrder = append(c.slotOrder, s)
 		return s, nil
+	}
+	// dropRecord abandons a slot-bound record whose SSD content cannot
+	// be read back: the stale home copy is what survives for that LBA. A
+	// tombstone is queued so the next flush makes the fallback durable;
+	// whole-SSD loss additionally flips the array into degraded mode.
+	dropRecord := func(lba int64, err error) error {
+		switch blockdev.Classify(err) {
+		case blockdev.ClassDeviceLost:
+			if !c.ssdLost {
+				c.ssdLost = true
+				c.Stats.DegradeEvents++
+			}
+		case blockdev.ClassMedia:
+		default:
+			return err
+		}
+		c.Stats.DroppedLogRecs++
+		c.queueControl(logEntry{kind: entryTombstone, lba: lba})
+		return nil
 	}
 
 	for _, lba := range lbas {
@@ -128,7 +164,10 @@ func (c *Controller) replayLog() error {
 		case entryPointer:
 			s, err := getSlot(e.slot)
 			if err != nil {
-				return err
+				if err := dropRecord(lba, err); err != nil {
+					return err
+				}
+				continue
 			}
 			v := &vblock{lba: lba, ssdCurrent: true, sigv: s.sigv}
 			c.attachSlot(v, s)
@@ -146,7 +185,10 @@ func (c *Controller) replayLog() error {
 		case entryDelta:
 			s, err := getSlot(e.slot)
 			if err != nil {
-				return err
+				if err := dropRecord(lba, err); err != nil {
+					return err
+				}
+				continue
 			}
 			v := &vblock{lba: lba, sigv: s.sigv}
 			c.attachSlot(v, s)
@@ -162,6 +204,28 @@ func (c *Controller) replayLog() error {
 			c.blocks[lba] = v
 			c.lru.pushFront(v)
 			c.indexOffset(v)
+		}
+	}
+
+	// The flush frontier must resume on a block with no live records:
+	// flushDeltas relocates a block's survivors one write ahead of the
+	// frontier (rescue-before-overwrite), which only works if the
+	// frontier never starts on live data. Scan forward from the block
+	// after the newest write for the first live-free, healthy block.
+	if maxSeq > 0 {
+		liveBlocks := make(map[int64]bool)
+		for _, rec := range c.logIndex {
+			liveBlocks[rec.block] = true
+		}
+		start := (maxSeqBlock + 1) % c.cfg.LogBlocks
+		c.logHead = start
+		for i := int64(0); i < c.cfg.LogBlocks; i++ {
+			b := (start + i) % c.cfg.LogBlocks
+			if c.badLogBlocks[b] || liveBlocks[b] {
+				continue
+			}
+			c.logHead = b
+			break
 		}
 	}
 

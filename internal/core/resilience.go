@@ -1,0 +1,355 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"icash/internal/blockdev"
+	"icash/internal/delta"
+	"icash/internal/sim"
+)
+
+// This file is the controller's fault-handling layer: typed error
+// classification with bounded retry and simulated-clock backoff, slot
+// scrubbing (repair of damaged SSD reference content from a redundant
+// copy), and graceful degradation to HDD-only passthrough when the SSD
+// is lost entirely. The paper's reliability argument (§3.3) says
+// I-CASH survives crashes because the SSD reference store and the HDD
+// log are durable; this layer is what keeps that argument honest when
+// the media themselves misbehave.
+
+// errSSDOp tags errors that originated on the SSD side of the array so
+// the top-level request handlers can tell SSD loss from HDD loss.
+var errSSDOp = errors.New("core: ssd operation failed")
+
+// withRetry runs op, retrying transient device errors up to
+// cfg.MaxRetries times with doubling simulated backoff. The returned
+// duration includes every attempt plus the backoff waits; the returned
+// error is the last attempt's error (nil on success).
+func (c *Controller) withRetry(op func() (sim.Duration, error)) (sim.Duration, error) {
+	var total sim.Duration
+	backoff := c.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		d, err := op()
+		total += d
+		if err == nil {
+			return total, nil
+		}
+		if blockdev.Classify(err) != blockdev.ClassTransient || attempt >= c.cfg.MaxRetries {
+			return total, err
+		}
+		c.Stats.TransientRetries++
+		c.Stats.RetryBackoffTime += backoff
+		total += backoff
+		backoff *= 2
+	}
+}
+
+// ssdRead reads one SSD block with retry. A lost SSD fails fast.
+func (c *Controller) ssdRead(lba int64, buf []byte) (sim.Duration, error) {
+	if c.ssdLost {
+		return 0, fmt.Errorf("%w: read lba %d: %w", errSSDOp, lba, blockdev.ErrDeviceLost)
+	}
+	d, err := c.withRetry(func() (sim.Duration, error) { return c.ssd.ReadBlock(lba, buf) })
+	if err != nil {
+		c.Stats.SSDReadFaults++
+		err = fmt.Errorf("%w: read lba %d: %w", errSSDOp, lba, err)
+	}
+	return d, err
+}
+
+// ssdWrite writes one SSD block with retry.
+func (c *Controller) ssdWrite(lba int64, buf []byte) (sim.Duration, error) {
+	if c.ssdLost {
+		return 0, fmt.Errorf("%w: write lba %d: %w", errSSDOp, lba, blockdev.ErrDeviceLost)
+	}
+	d, err := c.withRetry(func() (sim.Duration, error) { return c.ssd.WriteBlock(lba, buf) })
+	if err != nil {
+		c.Stats.SSDWriteFaults++
+		err = fmt.Errorf("%w: write lba %d: %w", errSSDOp, lba, err)
+	}
+	return d, err
+}
+
+// hddRead reads one HDD block with retry.
+func (c *Controller) hddRead(lba int64, buf []byte) (sim.Duration, error) {
+	d, err := c.withRetry(func() (sim.Duration, error) { return c.hdd.ReadBlock(lba, buf) })
+	if err != nil {
+		c.Stats.HDDReadFaults++
+	}
+	return d, err
+}
+
+// hddWrite writes one HDD block with retry.
+func (c *Controller) hddWrite(lba int64, buf []byte) (sim.Duration, error) {
+	d, err := c.withRetry(func() (sim.Duration, error) { return c.hdd.WriteBlock(lba, buf) })
+	if err != nil {
+		c.Stats.HDDWriteFaults++
+	}
+	return d, err
+}
+
+// contentCRC is the end-to-end integrity checksum kept per reference
+// slot, used to validate a repair source before trusting it (the
+// similarity signature is a sketch, not collision resistant).
+func contentCRC(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// discardSlot unwinds a freshly allocated slot whose content write
+// failed before any block attached. retire permanently removes the SSD
+// block from circulation (program failure); otherwise the slot is
+// quarantined until the next flush, like any freed slot.
+func (c *Controller) discardSlot(s *refSlot, retire bool) {
+	if c.slots[s.index] == s {
+		delete(c.slots, s.index)
+	}
+	if retire {
+		c.retiredSlots = append(c.retiredSlots, s.index)
+		c.Stats.SlotsRetired++
+	} else {
+		c.quarantine = append(c.quarantine, s.index)
+	}
+}
+
+// retireQuarantined moves a slot index that detachSlot just placed in
+// quarantine onto the permanent retired list instead, keeping a dying
+// flash block out of the allocation rotation.
+func (c *Controller) retireQuarantined(idx int64) {
+	for i, q := range c.quarantine {
+		if q == idx {
+			c.quarantine = append(c.quarantine[:i], c.quarantine[i+1:]...)
+			c.retiredSlots = append(c.retiredSlots, idx)
+			c.Stats.SlotsRetired++
+			return
+		}
+	}
+}
+
+// scrubSlot repairs a reference slot whose SSD content came back with
+// an uncorrectable media error. Repair sources, in order:
+//
+//  1. the donor's pristine RAM copy (a donor with no self-delta holds
+//     exactly the slot content);
+//  2. the slot's HDD home backup — installReference writes the
+//     reference content to the donor's home location precisely so this
+//     path exists — validated against the slot's CRC before use (a
+//     later home rewrite invalidates the backup; the CRC detects it).
+//
+// On success the content is rewritten to the SSD, healing the bad
+// block, and returned. When no source validates (or the heal write
+// also fails), every dependent is salvaged and the slot is retired.
+func (c *Controller) scrubSlot(s *refSlot) ([]byte, error) {
+	c.Stats.SlotScrubs++
+	var content []byte
+	if s.donor >= 0 {
+		if donor, ok := c.blocks[s.donor]; ok && donor.slotRef == s && donor.ssdCurrent && donor.dataRAM != nil {
+			content = append([]byte(nil), donor.dataRAM...)
+		}
+	}
+	if content == nil && s.homeLBA >= 0 {
+		buf := make([]byte, blockdev.BlockSize)
+		if d, err := c.hddRead(s.homeLBA, buf); err == nil {
+			c.Stats.BackgroundHDDTime += d
+			if contentCRC(buf) == s.crc {
+				content = buf
+			}
+		}
+	}
+	if content == nil {
+		c.salvageSlot(s, true)
+		return nil, fmt.Errorf("core: slot %d: media error and no valid repair source: %w",
+			s.index, blockdev.ErrMedia)
+	}
+	// Rewriting heals the bad block (sector remap / page reprogram). If
+	// even the rewrite fails the flash block is dying: salvage the
+	// dependents (their content is reconstructible — we hold it) and
+	// retire the block.
+	d, err := c.ssdWrite(s.index, content)
+	if err != nil {
+		if blockdev.Classify(err) == blockdev.ClassDeviceLost {
+			return nil, err
+		}
+		c.salvageContent(s, content)
+		return nil, fmt.Errorf("core: slot %d: repair rewrite failed: %w", s.index, err)
+	}
+	c.Stats.BackgroundSSDTime += d
+	c.Stats.SlotScrubRepairs++
+	return content, nil
+}
+
+// salvageSlot handles an unrepairable slot: every dependent either has
+// its current content in RAM (write it home, detach, live on as an
+// independent) or has lost data — its newest content needed the dead
+// slot, so the stale HDD home copy is what remains (counted as
+// ScrubDataLoss). The slot itself is retired when retire is set.
+func (c *Controller) salvageSlot(s *refSlot, retire bool) {
+	idx := s.index
+	for _, v := range c.slotDependents(s) {
+		if v.dataRAM != nil {
+			if err := c.writeHome(v, v.dataRAM); err != nil {
+				c.Stats.ScrubDataLoss++
+				v.hddHome = true // stale home copy is all that remains
+				v.dataDirty = false
+			}
+		} else {
+			c.Stats.ScrubDataLoss++
+			v.hddHome = true
+		}
+		c.orphanFromSlot(v)
+	}
+	if retire {
+		c.retireQuarantined(idx)
+	}
+}
+
+// salvageContent detaches every dependent of s after its content was
+// recovered but could not be rewritten to flash: each dependent's
+// current content is reconstructed from the recovered base and written
+// home, so nothing is lost. The slot is retired.
+func (c *Controller) salvageContent(s *refSlot, base []byte) {
+	idx := s.index
+	for _, v := range c.slotDependents(s) {
+		content := v.dataRAM
+		if content == nil && v.ssdCurrent {
+			content = base
+		}
+		if content == nil {
+			if enc := c.residentDelta(v); enc != nil {
+				if dec, err := delta.Decode(base, enc); err == nil {
+					content = dec
+				}
+			}
+		}
+		if content != nil {
+			if err := c.writeHome(v, content); err != nil {
+				c.Stats.ScrubDataLoss++
+				v.hddHome = true
+				v.dataDirty = false
+			}
+		} else {
+			c.Stats.ScrubDataLoss++
+			v.hddHome = true
+		}
+		c.orphanFromSlot(v)
+	}
+	c.retireQuarantined(idx)
+}
+
+// residentDelta returns v's delta bytes from RAM or, failing that, from
+// its durable log record. nil when neither source is available.
+func (c *Controller) residentDelta(v *vblock) []byte {
+	if v.deltaRAM != nil {
+		return v.deltaRAM
+	}
+	if c.deltaLogged(v) {
+		if enc, err := c.deltaFromLog(v.lba); err == nil {
+			return enc
+		}
+	}
+	return nil
+}
+
+// orphanFromSlot detaches v from its slot and turns it into a plain
+// independent whose home location is authoritative, queueing the
+// tombstone that supersedes any durable or pending slot-bound record.
+func (c *Controller) orphanFromSlot(v *vblock) {
+	c.releaseDelta(v)
+	c.detachSlot(v)
+	v.kind = Independent
+	if rec, ok := c.logIndex[v.lba]; !ok || rec.kind != entryTombstone {
+		c.queueControl(logEntry{kind: entryTombstone, lba: v.lba})
+	}
+}
+
+// slotDependents snapshots the blocks attached to s (detaching mutates
+// the LRU during iteration otherwise).
+func (c *Controller) slotDependents(s *refSlot) []*vblock {
+	var deps []*vblock
+	for v := c.lru.head; v != nil; v = v.next {
+		if v.slotRef == s {
+			deps = append(deps, v)
+		}
+	}
+	return deps
+}
+
+// maybeDegradeSSD inspects a request-path error and, on whole-SSD
+// loss, switches the controller into HDD-only degraded mode. Reports
+// whether degradation happened — the caller should then retry its
+// operation once, because every block is slot-free afterwards. Errors
+// from the HDD side never trigger this.
+func (c *Controller) maybeDegradeSSD(err error) bool {
+	if err == nil || c.ssdLost {
+		return false
+	}
+	if !errors.Is(err, errSSDOp) || blockdev.Classify(err) != blockdev.ClassDeviceLost {
+		return false
+	}
+	c.degradeSSD()
+	return true
+}
+
+// faultRecovered reports whether the fault behind a request-path error
+// has been repaired to the point that one retry can succeed: either the
+// SSD was just degraded away (every block is slot-free now), or a
+// media-level scrub failure salvaged v to its home location (v is
+// slot-free). Transient faults were already retried below; anything
+// else stays fatal.
+func (c *Controller) faultRecovered(v *vblock, err error) bool {
+	if c.maybeDegradeSSD(err) {
+		return true
+	}
+	return blockdev.Classify(err) == blockdev.ClassMedia && v.slotRef == nil && !v.dead
+}
+
+// degradeSSD transitions to HDD-only passthrough after whole-SSD loss:
+// every slot-attached block is salvaged from controller RAM where
+// possible (content written to its HDD home) and detached; blocks
+// whose newest content existed only as SSD reference + delta are
+// counted as DegradedDataLoss and fall back to their stale home copy.
+// Afterwards reads and writes bypass the SSD entirely: the similarity
+// scan, first-load pairing and write-through paths are disabled.
+func (c *Controller) degradeSSD() {
+	if c.ssdLost {
+		return
+	}
+	c.ssdLost = true
+	c.Stats.DegradeEvents++
+	var attached []*vblock
+	for v := c.lru.head; v != nil; v = v.next {
+		if v.slotRef != nil {
+			attached = append(attached, v)
+		}
+	}
+	for _, v := range attached {
+		if v.dataRAM != nil {
+			if err := c.writeHome(v, v.dataRAM); err != nil {
+				c.Stats.DegradedDataLoss++
+				v.hddHome = true
+				v.dataDirty = false
+			}
+		} else {
+			c.Stats.DegradedDataLoss++
+			v.hddHome = true
+		}
+		c.orphanFromSlot(v)
+	}
+	// Commit the tombstones: after this flush the HDD alone describes
+	// every surviving block, so a later crash recovers cleanly without
+	// the SSD. On flush failure they stay queued for the next attempt.
+	if err := c.flushDeltas(); err != nil {
+		dbg(-2, "degrade flush failed: %v", err)
+	}
+}
+
+// Degraded reports whether the controller is running in HDD-only
+// passthrough mode after SSD loss.
+func (c *Controller) Degraded() bool { return c.ssdLost }
+
+// DegradeSSD forces HDD-only degraded mode, as if the SSD had just
+// failed. Exposed for operational tooling and tests.
+func (c *Controller) DegradeSSD() { c.degradeSSD() }
+
+// RetiredSlotCount reports SSD blocks permanently removed from
+// circulation after unrecoverable program failures.
+func (c *Controller) RetiredSlotCount() int { return len(c.retiredSlots) }

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"icash/internal/blockdev"
+	"icash/internal/cpumodel"
+	"icash/internal/fault"
+	"icash/internal/sim"
+)
+
+// faultRig is a controller whose devices sit behind fault wrappers.
+type faultRig struct {
+	c    *Controller
+	ssdF *fault.Device
+	hddF *fault.Device
+}
+
+func newFaultRig(t *testing.T, cfg Config, ssdCfg, hddCfg fault.Config) *faultRig {
+	t.Helper()
+	clock := sim.NewClock()
+	cpu := cpumodel.NewAccountant(clock)
+	ssd := blockdev.NewMemDevice(cfg.SSDBlocks, 10*sim.Microsecond)
+	hdd := blockdev.NewMemDevice(cfg.VirtualBlocks+cfg.LogBlocks, 100*sim.Microsecond)
+	ssdF := fault.Wrap(ssd, ssdCfg)
+	hddF := fault.Wrap(hdd, hddCfg)
+	c, err := New(cfg, ssdF, hddF, clock, cpu)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return &faultRig{c: c, ssdF: ssdF, hddF: hddF}
+}
+
+// TestRequestValidation table-drives CheckRange/CheckBuffer propagation
+// through the controller's public request entry points: invalid requests
+// are rejected up front and leave no trace in controller state.
+func TestRequestValidation(t *testing.T) {
+	rig := newTestRig(t, smallConfig())
+	c := rig.c
+	good := make([]byte, blockdev.BlockSize)
+	short := make([]byte, blockdev.BlockSize-1)
+
+	cases := []struct {
+		name  string
+		read  bool
+		lba   int64
+		buf   []byte
+		wantE bool
+	}{
+		{"read ok", true, 0, good, false},
+		{"write ok", false, 0, good, false},
+		{"read negative lba", true, -1, good, true},
+		{"write negative lba", false, -5, good, true},
+		{"read past end", true, c.cfg.VirtualBlocks, good, true},
+		{"write past end", false, c.cfg.VirtualBlocks + 7, good, true},
+		{"read short buffer", true, 1, short, true},
+		{"write short buffer", false, 1, short, true},
+		{"read nil buffer", true, 1, nil, true},
+		{"write nil buffer", false, 1, nil, true},
+	}
+	for _, tc := range cases {
+		var err error
+		if tc.read {
+			_, err = c.ReadBlock(tc.lba, tc.buf)
+		} else {
+			_, err = c.WriteBlock(tc.lba, tc.buf)
+		}
+		if tc.wantE && err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+		}
+		if !tc.wantE && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("%s: invariants violated: %v", tc.name, err)
+		}
+	}
+}
+
+// TestFailedPromotionKeepsInvariants forces every SSD program to fail:
+// reference installation and write-through must unwind cleanly (slots
+// retired, content falling back to RAM/home) with no metadata damage
+// and no wrong answers.
+func TestFailedPromotionKeepsInvariants(t *testing.T) {
+	cfg := smallConfig()
+	rig := newFaultRig(t, cfg,
+		fault.Config{Seed: 1, Rates: fault.Rates{WriteMedia: 1}},
+		fault.Config{Seed: 2})
+	c := rig.c
+	r := sim.NewRand(42)
+	model := make(map[int64][]byte)
+	buf := make([]byte, blockdev.BlockSize)
+
+	for op := 0; op < 8000; op++ {
+		lba := int64(r.Intn(1024))
+		if r.Float64() < 0.4 {
+			content := genContent(r, int(lba%7), 0.05)
+			if _, err := c.WriteBlock(lba, content); err != nil {
+				t.Fatalf("op %d: write: %v", op, err)
+			}
+			model[lba] = content
+		} else {
+			if _, err := c.ReadBlock(lba, buf); err != nil {
+				t.Fatalf("op %d: read: %v", op, err)
+			}
+			want, ok := model[lba]
+			if !ok {
+				want = make([]byte, blockdev.BlockSize)
+			}
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("op %d: read lba %d wrong content", op, lba)
+			}
+		}
+	}
+	if c.Stats.SSDWriteFaults == 0 {
+		t.Error("workload never hit the SSD program-failure path")
+	}
+	if c.Stats.SlotsRetired == 0 {
+		t.Error("failed installs should retire slots")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after failed promotions: %v", err)
+	}
+}
+
+// TestSlotCorruptionScrubRepair populates the reference store, corrupts
+// every SSD slot, and checks that continued reads self-heal: damaged
+// slots are scrubbed and repaired from a redundant copy (donor RAM or
+// the HDD home backup), and any block whose content is genuinely
+// unrecoverable is accounted in ScrubDataLoss — never silently wrong.
+func TestSlotCorruptionScrubRepair(t *testing.T) {
+	cfg := smallConfig()
+	rig := newFaultRig(t, cfg, fault.Config{Seed: 3}, fault.Config{Seed: 4})
+	c := rig.c
+	r := sim.NewRand(11)
+	model := make(map[int64][]byte)
+	buf := make([]byte, blockdev.BlockSize)
+
+	for op := 0; op < 8000; op++ {
+		lba := int64(r.Intn(1024))
+		if r.Float64() < 0.4 {
+			content := genContent(r, int(lba%7), 0.05)
+			if _, err := c.WriteBlock(lba, content); err != nil {
+				t.Fatalf("op %d: write: %v", op, err)
+			}
+			model[lba] = content
+		} else if _, err := c.ReadBlock(lba, buf); err != nil {
+			t.Fatalf("op %d: read: %v", op, err)
+		}
+	}
+	if c.Stats.RefsSelected == 0 {
+		t.Fatal("workload never populated the reference store")
+	}
+
+	// Fixed-seed corruption: every slot's flash goes bad at once.
+	for idx := int64(0); idx < cfg.SSDBlocks; idx++ {
+		rig.ssdF.InjectBad(idx)
+	}
+
+	mismatches := int64(0)
+	for lba := int64(0); lba < 1024; lba++ {
+		if _, err := c.ReadBlock(lba, buf); err != nil {
+			t.Fatalf("read lba %d after corruption: %v", lba, err)
+		}
+		want, ok := model[lba]
+		if !ok {
+			want = make([]byte, blockdev.BlockSize)
+		}
+		if !bytes.Equal(buf, want) {
+			mismatches++
+		}
+	}
+	if c.Stats.SlotScrubs == 0 {
+		t.Error("corrupted slots never triggered a scrub")
+	}
+	if c.Stats.SlotScrubRepairs == 0 {
+		t.Error("no slot was repaired from a redundant copy")
+	}
+	if loss := c.Stats.ScrubDataLoss; mismatches > loss {
+		t.Errorf("%d wrong reads but only %d accounted as scrub data loss", mismatches, loss)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after scrub storm: %v", err)
+	}
+}
+
+// TestSSDLossDegradedMode pulls the whole SSD mid-run: the controller
+// must flip into HDD-only degraded mode, keep serving every request,
+// and account any block whose newest content died with the SSD.
+func TestSSDLossDegradedMode(t *testing.T) {
+	cfg := smallConfig()
+	rig := newFaultRig(t, cfg, fault.Config{Seed: 5}, fault.Config{Seed: 6})
+	c := rig.c
+	r := sim.NewRand(23)
+	model := make(map[int64][]byte)
+	buf := make([]byte, blockdev.BlockSize)
+
+	for op := 0; op < 8000; op++ {
+		if op == 4000 {
+			rig.ssdF.Lose()
+		}
+		lba := int64(r.Intn(1024))
+		if r.Float64() < 0.4 {
+			content := genContent(r, int(lba%7), 0.05)
+			if _, err := c.WriteBlock(lba, content); err != nil {
+				t.Fatalf("op %d: write: %v", op, err)
+			}
+			model[lba] = content
+		} else if _, err := c.ReadBlock(lba, buf); err != nil {
+			t.Fatalf("op %d: read: %v", op, err)
+		}
+	}
+	if !c.Degraded() {
+		t.Fatal("controller never entered degraded mode")
+	}
+	if c.Stats.DegradeEvents != 1 {
+		t.Errorf("DegradeEvents = %d, want 1", c.Stats.DegradeEvents)
+	}
+	if c.Stats.DegradedOps == 0 {
+		t.Error("no operations accounted as degraded")
+	}
+
+	mismatches := int64(0)
+	for lba := int64(0); lba < 1024; lba++ {
+		if _, err := c.ReadBlock(lba, buf); err != nil {
+			t.Fatalf("degraded read lba %d: %v", lba, err)
+		}
+		want, ok := model[lba]
+		if !ok {
+			want = make([]byte, blockdev.BlockSize)
+		}
+		if !bytes.Equal(buf, want) {
+			mismatches++
+		}
+	}
+	if loss := c.Stats.DegradedDataLoss + c.Stats.ScrubDataLoss; mismatches > loss {
+		t.Errorf("%d wrong reads but only %d accounted as data loss", mismatches, loss)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("invariants in degraded mode: %v", err)
+	}
+}
+
+// TestDeterministicFaultReplay runs the same faulty workload twice with
+// identical seeds and requires bit-identical statistics — the property
+// the crash-point harness depends on.
+func TestDeterministicFaultReplay(t *testing.T) {
+	run := func() (Stats, fault.Stats, fault.Stats) {
+		cfg := smallConfig()
+		rig := newFaultRig(t, cfg,
+			fault.Config{Seed: 7, Rates: fault.Rates{Transient: 0.01, WriteMedia: 0.002}},
+			fault.Config{Seed: 8, Rates: fault.Rates{Transient: 0.01}})
+		c := rig.c
+		r := sim.NewRand(99)
+		buf := make([]byte, blockdev.BlockSize)
+		for op := 0; op < 6000; op++ {
+			lba := int64(r.Intn(1024))
+			if r.Float64() < 0.4 {
+				if _, err := c.WriteBlock(lba, genContent(r, int(lba%7), 0.05)); err != nil {
+					t.Fatalf("op %d: write: %v", op, err)
+				}
+			} else if _, err := c.ReadBlock(lba, buf); err != nil {
+				t.Fatalf("op %d: read: %v", op, err)
+			}
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats, rig.ssdF.Stats, rig.hddF.Stats
+	}
+	s1, fs1, fh1 := run()
+	s2, fs2, fh2 := run()
+	if s1 != s2 {
+		t.Errorf("controller stats diverged:\n%+v\n%+v", s1, s2)
+	}
+	if fs1 != fs2 || fh1 != fh2 {
+		t.Errorf("fault wrapper stats diverged")
+	}
+	if s1.TransientRetries == 0 {
+		t.Error("transient faults never exercised the retry path")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"icash/internal/blockdev"
 	"icash/internal/delta"
 	"icash/internal/sig"
 	"icash/internal/sim"
@@ -16,6 +17,9 @@ import (
 // association between reference and delta blocks is reorganized at the
 // end of each scanning phase.
 func (c *Controller) scan() error {
+	if c.ssdLost {
+		return nil // HDD-only degraded mode: nowhere to install references
+	}
 	c.Stats.Scans++
 
 	// Collect the scan window from the LRU head.
@@ -68,6 +72,9 @@ func (c *Controller) scan() error {
 		best := c.findSimilarSlot(v.sigv)
 		if best != nil {
 			if ok, err := c.tryAttach(v, best); err != nil {
+				if blockdev.Classify(err) == blockdev.ClassMedia {
+					continue // unscrubable candidate; skip, don't abort the scan
+				}
 				return err
 			} else if ok {
 				continue
@@ -82,6 +89,9 @@ func (c *Controller) scan() error {
 		}
 		content, _, _, err := c.materialize(v, true)
 		if err != nil {
+			if blockdev.Classify(err) == blockdev.ClassMedia {
+				continue
+			}
 			return err
 		}
 		s, err := c.installReference(v, content)

@@ -24,7 +24,7 @@ func (c *Controller) allocSlot() *refSlot {
 	}
 	idx := c.freeSlots[len(c.freeSlots)-1]
 	c.freeSlots = c.freeSlots[:len(c.freeSlots)-1]
-	s := &refSlot{index: idx, donor: -1}
+	s := &refSlot{index: idx, donor: -1, homeLBA: -1}
 	c.slots[idx] = s
 	c.slotOrder = append(c.slotOrder, s)
 	return s
@@ -168,9 +168,20 @@ func (c *Controller) slotContent(s *refSlot, background bool) ([]byte, sim.Durat
 		}
 	}
 	buf := make([]byte, blockdev.BlockSize)
-	d, err := c.ssd.ReadBlock(s.index, buf)
+	d, err := c.ssdRead(s.index, buf)
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: slot %d read: %w", s.index, err)
+		if blockdev.Classify(err) == blockdev.ClassMedia {
+			// Uncorrectable bit error in the reference store: scrub the
+			// slot from a redundant copy (donor RAM or the CRC-verified
+			// HDD home backup) and heal the flash block in place.
+			content, serr := c.scrubSlot(s)
+			if serr != nil {
+				return nil, 0, fmt.Errorf("core: slot %d read: %w", s.index, serr)
+			}
+			buf = content
+		} else {
+			return nil, 0, fmt.Errorf("core: slot %d read: %w", s.index, err)
+		}
 	}
 	if background {
 		c.Stats.BackgroundSSDTime += d
@@ -234,15 +245,44 @@ func (c *Controller) writeThroughSSD(v *vblock, content []byte) (sim.Duration, e
 		c.Stats.WriteRAMFallback++
 		return ram.AccessLatency, nil
 	}
-	d, err := c.ssd.WriteBlock(s.index, content)
+	d, err := c.ssdWrite(s.index, content)
 	if err != nil {
-		return 0, fmt.Errorf("core: write-through slot %d: %w", s.index, err)
+		if blockdev.Classify(err) == blockdev.ClassDeviceLost {
+			return 0, fmt.Errorf("core: write-through slot %d: %w", s.index, err)
+		}
+		// Program failure: unwind so the metadata never points at a slot
+		// whose content didn't land, then keep the write in RAM (same
+		// fallback as a fully pinned SSD). A media-class failure retires
+		// the flash block; anything else quarantines it for reuse.
+		retire := blockdev.Classify(err) == blockdev.ClassMedia
+		if v.slotRef == s {
+			c.detachSlot(v) // quarantines s: refcnt hits zero
+			if retire {
+				c.retireQuarantined(s.index)
+			}
+		} else {
+			c.discardSlot(s, retire)
+		}
+		c.releaseDelta(v)
+		v.kind = Independent
+		v.hddHome = false
+		if rec, ok := c.logIndex[v.lba]; !ok || rec.kind != entryTombstone {
+			c.queueControl(logEntry{kind: entryTombstone, lba: v.lba})
+		}
+		if err := c.cacheData(v, content, true); err != nil {
+			return 0, err
+		}
+		c.Stats.WriteIndependent++
+		c.Stats.WriteRAMFallback++
+		return ram.AccessLatency, nil
 	}
 	if v.slotRef != s {
 		c.attachSlot(v, s)
 	}
 	s.donor = v.lba
 	s.sigv = v.sigv
+	s.crc = contentCRC(content)
+	s.homeLBA = -1 // write-throughs have no home backup (home is stale)
 	c.releaseDelta(v)
 	v.kind = Independent
 	v.ssdCurrent = true
@@ -272,11 +312,24 @@ func (c *Controller) installReference(v *vblock, content []byte) (*refSlot, erro
 	if s == nil {
 		return nil, nil
 	}
-	d, err := c.ssd.WriteBlock(s.index, content)
+	d, err := c.ssdWrite(s.index, content)
 	if err != nil {
-		return nil, fmt.Errorf("core: install reference slot %d: %w", s.index, err)
+		// Unwind the unattached slot so invariants hold; the candidate
+		// simply stays unpromoted. A dead SSD aborts the whole scan.
+		c.discardSlot(s, blockdev.Classify(err) == blockdev.ClassMedia)
+		if blockdev.Classify(err) == blockdev.ClassDeviceLost {
+			return nil, fmt.Errorf("core: install reference slot %d: %w", s.index, err)
+		}
+		return nil, nil
 	}
 	c.Stats.BackgroundSSDTime += d
+	// Back up the reference content at the donor's home location: slot
+	// scrubbing re-fetches it from there if the flash copy degrades. The
+	// CRC detects a backup later overwritten by an eviction.
+	s.crc = contentCRC(content)
+	if err := c.writeHome(v, content); err == nil {
+		s.homeLBA = v.lba
+	}
 	if v.slotRef != nil {
 		c.detachSlot(v)
 	}

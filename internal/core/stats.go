@@ -59,6 +59,24 @@ type Stats struct {
 	BackgroundHDDTime sim.Duration
 	// BackgroundSSDTime is SSD time spent installing references.
 	BackgroundSSDTime sim.Duration
+
+	// Fault handling and self-healing (see resilience.go).
+	TransientRetries int64 // transient device errors absorbed by retry
+	RetryBackoffTime sim.Duration
+	SSDReadFaults    int64 // SSD reads that failed after retries
+	SSDWriteFaults   int64 // SSD writes that failed after retries
+	HDDReadFaults    int64 // HDD reads that failed after retries
+	HDDWriteFaults   int64 // HDD writes that failed after retries
+	SlotScrubs       int64 // damaged reference slots scrub attempts
+	SlotScrubRepairs int64 // slots rebuilt from a redundant copy
+	ScrubDataLoss    int64 // blocks orphaned by an unrepairable slot
+	SlotsRetired     int64 // SSD slots retired after program failures
+	BadLogBlocks     int64 // HDD log blocks retired after write failures
+	TornLogBlocks    int64 // corrupt/torn log blocks skipped by recovery
+	DroppedLogRecs   int64 // log records dropped over unreadable slots
+	DegradeEvents    int64 // transitions into HDD-only degraded mode
+	DegradedDataLoss int64 // blocks whose newest content died with the SSD
+	DegradedOps      int64 // requests served in HDD-only degraded mode
 }
 
 // KindCounts is a snapshot of the virtual-block population by kind,

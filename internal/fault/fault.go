@@ -1,0 +1,282 @@
+// Package fault is a deterministic, schedule-driven fault-injection
+// layer for simulated block devices. A fault.Device wraps any
+// blockdev.Device — SSD, HDD, RAID member, memory device — and injects
+// reproducible failures drawn from a seeded sim.Rand:
+//
+//   - latent sector errors / uncorrectable bit errors (ErrMedia): the
+//     block stays unreadable until it is rewritten, which models a
+//     sector remap or page reprogram healing the location;
+//   - transient timeouts (ErrTransient): the operation does not take
+//     effect and an immediate retry may succeed;
+//   - whole-device loss (ErrDeviceLost): every request fails until
+//     Restore is called;
+//   - crash points with torn writes: the N-th write applies only a
+//     prefix of the new data (the tail keeps the old bytes, exactly
+//     what a power cut mid-sector-stream leaves behind), after which
+//     the device is lost. Restore models power-on: the media, torn
+//     block included, is intact; only the in-flight write was damaged.
+//
+// Everything is driven by one seed, so two runs with the same seed,
+// schedule and request stream observe bit-identical fault sequences —
+// the property the deterministic-replay and crash-sweep tests build on.
+package fault
+
+import (
+	"fmt"
+
+	"icash/internal/blockdev"
+	"icash/internal/sim"
+)
+
+// Rates sets per-operation fault probabilities. Zero values disable
+// the corresponding fault; scheduled faults (InjectBad, Lose,
+// SetCrashAfterWrites) work regardless of rates.
+type Rates struct {
+	// ReadMedia is the probability that a read discovers a new latent
+	// media error at the target block (the block goes bad until
+	// rewritten).
+	ReadMedia float64
+	// WriteMedia is the probability that a write fails as a program
+	// failure, leaving the target block bad until a later write
+	// succeeds.
+	WriteMedia float64
+	// Transient is the probability that any operation times out once
+	// without taking effect.
+	Transient float64
+}
+
+// Config parameterizes a fault.Device.
+type Config struct {
+	// Seed drives the injection PRNG; the same seed reproduces the
+	// same fault sequence for the same request stream.
+	Seed uint64
+	// Rates are the probabilistic fault rates.
+	Rates Rates
+	// TimeoutLatency is the simulated service time of a transient
+	// timeout (default 10 ms — a device-level command timeout).
+	TimeoutLatency sim.Duration
+	// ErrorLatency is the simulated service time of a media error
+	// (default 5 ms — the drive's internal retries before giving up).
+	ErrorLatency sim.Duration
+}
+
+// Stats counts injected faults and surviving traffic.
+type Stats struct {
+	Reads           int64 // reads passed through to the inner device
+	Writes          int64 // writes passed through to the inner device
+	MediaErrors     int64 // ErrMedia returned (injected or latent re-hit)
+	TransientErrors int64 // ErrTransient returned
+	LostErrors      int64 // ErrDeviceLost returned
+	TornWrites      int64 // crash-point writes that applied partially
+	HealedBlocks    int64 // bad blocks cleared by a successful rewrite
+}
+
+// Device wraps an inner device with fault injection. It implements
+// blockdev.Device, Preloader and Filler (delegating the latter two
+// fault-free: preloading models factory imaging). Not safe for
+// concurrent use, like every device in this simulation.
+type Device struct {
+	inner blockdev.Device
+	cfg   Config
+	rng   *sim.Rand
+
+	bad        map[int64]bool
+	lost       bool
+	writeSeen  int64
+	crashAfter int64 // 1-indexed write count; -1 disables
+	tornBytes  int
+
+	// TraceWrites records the LBA of every write attempt in WriteLog;
+	// the crash-point harness uses a traced dry run to find log-flush
+	// boundaries.
+	TraceWrites bool
+	WriteLog    []int64
+
+	// Stats is externally visible accounting.
+	Stats Stats
+}
+
+// Wrap builds a fault-injecting view of inner.
+func Wrap(inner blockdev.Device, cfg Config) *Device {
+	if cfg.TimeoutLatency <= 0 {
+		cfg.TimeoutLatency = 10 * sim.Millisecond
+	}
+	if cfg.ErrorLatency <= 0 {
+		cfg.ErrorLatency = 5 * sim.Millisecond
+	}
+	return &Device{
+		inner:      inner,
+		cfg:        cfg,
+		rng:        sim.NewRand(cfg.Seed),
+		bad:        make(map[int64]bool),
+		crashAfter: -1,
+	}
+}
+
+// Inner returns the wrapped device (recovery paths bypass the wrapper
+// to model a fresh power-on against intact media).
+func (d *Device) Inner() blockdev.Device { return d.inner }
+
+// Blocks returns the inner device capacity.
+func (d *Device) Blocks() int64 { return d.inner.Blocks() }
+
+// InjectBad marks lba as a latent media error: reads fail with
+// ErrMedia until a write heals the block.
+func (d *Device) InjectBad(lba int64) { d.bad[lba] = true }
+
+// BadBlocks reports the current count of unreadable blocks.
+func (d *Device) BadBlocks() int { return len(d.bad) }
+
+// Lose fails the whole device: every subsequent request returns
+// ErrDeviceLost until Restore.
+func (d *Device) Lose() { d.lost = true }
+
+// Lost reports whether the device is currently failed.
+func (d *Device) Lost() bool { return d.lost }
+
+// Restore brings a lost device back (power-on after a crash point, or
+// reattaching a pulled drive). Latent bad blocks persist.
+func (d *Device) Restore() { d.lost = false }
+
+// SetCrashAfterWrites arms a crash point: the n-th subsequent write
+// (1-indexed) applies only the first tornBytes bytes of its payload —
+// the tail keeps the old media content — and the device is lost.
+// tornBytes 0 means the write is not applied at all (power died before
+// the sector stream started); tornBytes >= BlockSize means the write
+// landed fully and power died immediately after. n <= 0 disarms.
+func (d *Device) SetCrashAfterWrites(n int64, tornBytes int) {
+	if n <= 0 {
+		d.crashAfter = -1
+		return
+	}
+	if tornBytes < 0 {
+		tornBytes = 0
+	}
+	if tornBytes > blockdev.BlockSize {
+		tornBytes = blockdev.BlockSize
+	}
+	d.crashAfter = d.writeSeen + n
+	d.tornBytes = tornBytes
+}
+
+// WritesSeen returns the number of write attempts observed so far.
+func (d *Device) WritesSeen() int64 { return d.writeSeen }
+
+// ReadBlock injects read-path faults, then delegates.
+func (d *Device) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
+	if err := blockdev.CheckRange(lba, d.inner.Blocks()); err != nil {
+		return 0, err
+	}
+	if err := blockdev.CheckBuffer(buf); err != nil {
+		return 0, err
+	}
+	if d.lost {
+		d.Stats.LostErrors++
+		return 0, fmt.Errorf("fault: read lba %d: %w", lba, blockdev.ErrDeviceLost)
+	}
+	if d.bad[lba] {
+		d.Stats.MediaErrors++
+		return d.cfg.ErrorLatency, fmt.Errorf("fault: read lba %d: %w", lba, blockdev.ErrMedia)
+	}
+	if d.cfg.Rates.Transient > 0 && d.rng.Float64() < d.cfg.Rates.Transient {
+		d.Stats.TransientErrors++
+		return d.cfg.TimeoutLatency, fmt.Errorf("fault: read lba %d: %w", lba, blockdev.ErrTransient)
+	}
+	if d.cfg.Rates.ReadMedia > 0 && d.rng.Float64() < d.cfg.Rates.ReadMedia {
+		d.bad[lba] = true
+		d.Stats.MediaErrors++
+		return d.cfg.ErrorLatency, fmt.Errorf("fault: read lba %d: %w", lba, blockdev.ErrMedia)
+	}
+	d.Stats.Reads++
+	return d.inner.ReadBlock(lba, buf)
+}
+
+// WriteBlock injects write-path faults (including the armed crash
+// point), then delegates. A successful write heals a latent bad block:
+// the drive remaps the sector / reprograms the page.
+func (d *Device) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
+	if err := blockdev.CheckRange(lba, d.inner.Blocks()); err != nil {
+		return 0, err
+	}
+	if err := blockdev.CheckBuffer(buf); err != nil {
+		return 0, err
+	}
+	if d.lost {
+		d.Stats.LostErrors++
+		return 0, fmt.Errorf("fault: write lba %d: %w", lba, blockdev.ErrDeviceLost)
+	}
+	d.writeSeen++
+	if d.TraceWrites {
+		d.WriteLog = append(d.WriteLog, lba)
+	}
+	if d.crashAfter >= 0 && d.writeSeen == d.crashAfter {
+		return 0, d.tearAndDie(lba, buf)
+	}
+	if d.cfg.Rates.Transient > 0 && d.rng.Float64() < d.cfg.Rates.Transient {
+		d.Stats.TransientErrors++
+		return d.cfg.TimeoutLatency, fmt.Errorf("fault: write lba %d: %w", lba, blockdev.ErrTransient)
+	}
+	if d.cfg.Rates.WriteMedia > 0 && d.rng.Float64() < d.cfg.Rates.WriteMedia {
+		d.bad[lba] = true
+		d.Stats.MediaErrors++
+		return d.cfg.ErrorLatency, fmt.Errorf("fault: write lba %d: %w", lba, blockdev.ErrMedia)
+	}
+	dur, err := d.inner.WriteBlock(lba, buf)
+	if err == nil && d.bad[lba] {
+		delete(d.bad, lba)
+		d.Stats.HealedBlocks++
+	}
+	d.Stats.Writes++
+	return dur, err
+}
+
+// tearAndDie applies the armed torn write and fails the device: the
+// first tornBytes bytes of buf land on media, the tail keeps whatever
+// the block held before.
+func (d *Device) tearAndDie(lba int64, buf []byte) error {
+	d.Stats.TornWrites++
+	d.lost = true
+	d.Stats.LostErrors++
+	if d.tornBytes > 0 {
+		old := make([]byte, blockdev.BlockSize)
+		if _, err := d.inner.ReadBlock(lba, old); err == nil {
+			copy(old[:d.tornBytes], buf[:d.tornBytes])
+			// Bypass wrapper accounting: this is the physical tail of
+			// the dying write, not a new host request.
+			if p, ok := d.inner.(blockdev.Preloader); ok {
+				p.Preload(lba, old)
+			} else {
+				d.inner.WriteBlock(lba, old)
+			}
+		}
+	}
+	return fmt.Errorf("fault: write lba %d: power cut at crash point (%d bytes applied): %w",
+		lba, d.tornBytes, blockdev.ErrDeviceLost)
+}
+
+var _ blockdev.Device = (*Device)(nil)
+
+// Preload delegates to the inner device, fault-free (factory imaging
+// happens before the fault schedule starts).
+func (d *Device) Preload(lba int64, content []byte) error {
+	p, ok := d.inner.(blockdev.Preloader)
+	if !ok {
+		return fmt.Errorf("fault: inner device does not support preloading")
+	}
+	return p.Preload(lba, content)
+}
+
+var _ blockdev.Preloader = (*Device)(nil)
+
+// SetFill delegates the initial-content oracle to the inner device.
+func (d *Device) SetFill(f blockdev.FillFunc) {
+	if fl, ok := d.inner.(blockdev.Filler); ok {
+		fl.SetFill(f)
+	}
+}
+
+var _ blockdev.Filler = (*Device)(nil)
+
+// ResetStats zeroes the fault accounting (bad blocks and the crash
+// schedule are preserved).
+func (d *Device) ResetStats() { d.Stats = Stats{} }

@@ -5,6 +5,7 @@ import (
 
 	"icash/internal/blockdev"
 	"icash/internal/core"
+	"icash/internal/fault"
 	"icash/internal/metrics"
 	"icash/internal/power"
 	"icash/internal/sim"
@@ -54,6 +55,14 @@ type Result struct {
 	ICASHStats *core.Stats
 	// KindCounts is the block-population mix (I-CASH runs only).
 	KindCounts core.KindCounts
+
+	// Degraded reports whether the controller finished the run in
+	// HDD-only degraded mode (fault-injection runs only).
+	Degraded bool
+	// SSDFaultStats / HDDFaultStats are the injector's accounting when
+	// the build requested fault injection; nil otherwise.
+	SSDFaultStats *fault.Stats
+	HDDFaultStats *fault.Stats
 }
 
 // Populate writes the whole data set through the system, mirroring the
@@ -195,6 +204,15 @@ func Run(sys *System, gen *workload.Generator) (*Result, error) {
 		st := sys.ICASH.Stats
 		res.ICASHStats = &st
 		res.KindCounts = sys.ICASH.KindCounts()
+		res.Degraded = sys.ICASH.Degraded()
+	}
+	if sys.SSDFault != nil {
+		st := sys.SSDFault.Stats
+		res.SSDFaultStats = &st
+	}
+	if sys.HDDFault != nil {
+		st := sys.HDDFault.Stats
+		res.HDDFaultStats = &st
 	}
 	return res, nil
 }

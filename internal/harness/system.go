@@ -10,6 +10,7 @@ import (
 	"icash/internal/blockdev"
 	"icash/internal/core"
 	"icash/internal/cpumodel"
+	"icash/internal/fault"
 	"icash/internal/hdd"
 	"icash/internal/raid"
 	"icash/internal/sim"
@@ -71,6 +72,12 @@ type BuildConfig struct {
 	// Tune overrides I-CASH controller parameters after the harness
 	// defaults are applied (ablation studies).
 	Tune func(*core.Config)
+
+	// FaultSSD and FaultHDD, when non-nil, interpose deterministic
+	// fault injectors between the I-CASH controller and its devices
+	// (robustness experiments; ignored for the baseline systems).
+	FaultSSD *fault.Config
+	FaultHDD *fault.Config
 }
 
 // System is one storage configuration under test: the device stack plus
@@ -89,6 +96,11 @@ type System struct {
 	Dedup *baseline.DedupCache
 	Pure  *baseline.PureSSD
 	RAID  *raid.Array0
+
+	// SSDFault and HDDFault are the fault injectors when the build
+	// requested them; nil otherwise.
+	SSDFault *fault.Device
+	HDDFault *fault.Device
 
 	flush func() error
 }
@@ -127,6 +139,12 @@ func (s *System) ResetStats() {
 	}
 	if s.RAID != nil {
 		s.RAID.ResetStats()
+	}
+	if s.SSDFault != nil {
+		s.SSDFault.ResetStats()
+	}
+	if s.HDDFault != nil {
+		s.HDDFault.ResetStats()
 	}
 	s.CPU.Reset()
 }
@@ -252,7 +270,16 @@ func Build(kind Kind, cfg BuildConfig) (*System, error) {
 		if cfg.Tune != nil {
 			cfg.Tune(&ccfg)
 		}
-		ctrl, err := core.New(ccfg, s.SSD, h, clock, cpu)
+		var ssdDev, hddDev blockdev.Device = s.SSD, h
+		if cfg.FaultSSD != nil {
+			s.SSDFault = fault.Wrap(ssdDev, *cfg.FaultSSD)
+			ssdDev = s.SSDFault
+		}
+		if cfg.FaultHDD != nil {
+			s.HDDFault = fault.Wrap(hddDev, *cfg.FaultHDD)
+			hddDev = s.HDDFault
+		}
+		ctrl, err := core.New(ccfg, ssdDev, hddDev, clock, cpu)
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,7 @@
 package hdd
 
 import (
+	"fmt"
 	"math"
 
 	"icash/internal/blockdev"
@@ -82,6 +83,10 @@ type Device struct {
 	data map[int64][]byte
 	fill blockdev.FillFunc
 
+	// bad holds sectors with injected latent errors: reads fail with
+	// blockdev.ErrMedia until a successful write remaps the sector.
+	bad map[int64]bool
+
 	headCyl  int // current head cylinder
 	buffered int // writes currently absorbed by the write buffer
 
@@ -106,6 +111,8 @@ type Stats struct {
 	SequentialOps int64
 	// BufferedWrites counts writes absorbed by the write buffer.
 	BufferedWrites int64
+	// MediaErrors counts reads that failed on a latent sector error.
+	MediaErrors int64
 }
 
 // New builds a drive from cfg.
@@ -244,6 +251,12 @@ func (d *Device) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
 	if err := blockdev.CheckBuffer(buf); err != nil {
 		return 0, err
 	}
+	if d.bad[lba] {
+		// The drive still pays the mechanical cost of the failed attempt.
+		lat := d.access(lba, false)
+		d.Stats.MediaErrors++
+		return lat, fmt.Errorf("hdd: latent sector error at lba %d: %w", lba, blockdev.ErrMedia)
+	}
 	if b, ok := d.data[lba]; ok {
 		copy(buf, b)
 	} else if d.fill != nil {
@@ -272,9 +285,22 @@ func (d *Device) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
 		d.data[lba] = b
 	}
 	copy(b, buf)
+	// A successful write remaps a latent-error sector (spare-pool
+	// reallocation), healing it.
+	delete(d.bad, lba)
 	lat := d.access(lba, true)
 	d.Stats.NoteWrite(blockdev.BlockSize, lat)
 	return lat, nil
+}
+
+// InjectLatentError marks lba as a latent sector error: subsequent
+// reads fail with blockdev.ErrMedia until a write heals the sector.
+// Test hook; no effect on timing until the sector is touched.
+func (d *Device) InjectLatentError(lba int64) {
+	if d.bad == nil {
+		d.bad = make(map[int64]bool)
+	}
+	d.bad[lba] = true
 }
 
 var _ blockdev.Device = (*Device)(nil)

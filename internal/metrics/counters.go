@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"icash/internal/core"
+	"icash/internal/fault"
+)
+
+// Counter is one named monotonic count, used to export fault, retry and
+// degradation accounting in a stable, table-friendly order.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// ResilienceCounters flattens the controller's fault-handling and
+// self-healing statistics into an ordered counter list. The order is
+// part of the contract: tools print and diff these tables.
+func ResilienceCounters(st *core.Stats) []Counter {
+	return []Counter{
+		{"transient_retries", st.TransientRetries},
+		{"retry_backoff_ns", int64(st.RetryBackoffTime)},
+		{"ssd_read_faults", st.SSDReadFaults},
+		{"ssd_write_faults", st.SSDWriteFaults},
+		{"hdd_read_faults", st.HDDReadFaults},
+		{"hdd_write_faults", st.HDDWriteFaults},
+		{"slot_scrubs", st.SlotScrubs},
+		{"slot_scrub_repairs", st.SlotScrubRepairs},
+		{"scrub_data_loss", st.ScrubDataLoss},
+		{"slots_retired", st.SlotsRetired},
+		{"bad_log_blocks", st.BadLogBlocks},
+		{"torn_log_blocks", st.TornLogBlocks},
+		{"dropped_log_records", st.DroppedLogRecs},
+		{"degrade_events", st.DegradeEvents},
+		{"degraded_data_loss", st.DegradedDataLoss},
+		{"degraded_ops", st.DegradedOps},
+	}
+}
+
+// FaultCounters flattens a fault injector's accounting into an ordered
+// counter list.
+func FaultCounters(st *fault.Stats) []Counter {
+	return []Counter{
+		{"reads", st.Reads},
+		{"writes", st.Writes},
+		{"media_errors", st.MediaErrors},
+		{"transient_errors", st.TransientErrors},
+		{"lost_errors", st.LostErrors},
+		{"torn_writes", st.TornWrites},
+		{"healed_blocks", st.HealedBlocks},
+	}
+}
+
+// FormatCounters renders counters one per line with the given indent,
+// skipping zero entries when skipZero is set (quiet tables for healthy
+// runs).
+func FormatCounters(counters []Counter, indent string, skipZero bool) string {
+	var b strings.Builder
+	for _, c := range counters {
+		if skipZero && c.Value == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s%-22s %d\n", indent, c.Name, c.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"icash/internal/core"
+	"icash/internal/fault"
+)
+
+func TestResilienceCountersComplete(t *testing.T) {
+	st := core.Stats{
+		TransientRetries: 3,
+		SlotScrubs:       5,
+		DegradeEvents:    1,
+	}
+	cs := ResilienceCounters(&st)
+	seen := map[string]int64{}
+	for _, c := range cs {
+		if _, dup := seen[c.Name]; dup {
+			t.Fatalf("duplicate counter %q", c.Name)
+		}
+		seen[c.Name] = c.Value
+	}
+	if seen["transient_retries"] != 3 || seen["slot_scrubs"] != 5 || seen["degrade_events"] != 1 {
+		t.Fatalf("counter values not carried through: %v", seen)
+	}
+	// The order is part of the contract: retries first, degradation last.
+	if cs[0].Name != "transient_retries" || cs[len(cs)-1].Name != "degraded_ops" {
+		t.Fatalf("counter order changed: first %q last %q", cs[0].Name, cs[len(cs)-1].Name)
+	}
+}
+
+func TestFaultCountersCarryValues(t *testing.T) {
+	st := fault.Stats{Reads: 10, TornWrites: 2}
+	seen := map[string]int64{}
+	for _, c := range FaultCounters(&st) {
+		seen[c.Name] = c.Value
+	}
+	if seen["reads"] != 10 || seen["torn_writes"] != 2 {
+		t.Fatalf("fault counters wrong: %v", seen)
+	}
+}
+
+func TestFormatCounters(t *testing.T) {
+	cs := []Counter{{"alpha", 1}, {"beta", 0}, {"gamma", 7}}
+	all := FormatCounters(cs, "  ", false)
+	if n := strings.Count(all, "\n"); n != 3 {
+		t.Fatalf("want 3 lines, got %d:\n%s", n, all)
+	}
+	quiet := FormatCounters(cs, "  ", true)
+	if strings.Contains(quiet, "beta") {
+		t.Fatalf("skipZero kept a zero entry:\n%s", quiet)
+	}
+	if !strings.Contains(quiet, "alpha") || !strings.Contains(quiet, "gamma") {
+		t.Fatalf("skipZero dropped a nonzero entry:\n%s", quiet)
+	}
+	if FormatCounters([]Counter{{"z", 0}}, "", true) != "" {
+		t.Fatal("all-zero table should format to empty string")
+	}
+}

@@ -12,13 +12,29 @@ import (
 )
 
 // Array0 is a RAID0 stripe set. It is not safe for concurrent use.
+//
+// RAID0 has no redundancy: a lost member takes its stripe chunks with
+// it. The array tracks which members have failed (any error that
+// classifies as device loss) and fails requests routed to them fast,
+// without re-touching the dead device, so upper layers observe a
+// consistent degraded view instead of timing-dependent behaviour.
 type Array0 struct {
 	members     []blockdev.Device
 	chunkBlocks int64
 	blocks      int64
+	failed      []bool
 
 	// Stats aggregates array-level request accounting.
-	Stats blockdev.Stats
+	Stats Stats
+}
+
+// Stats extends the common device accounting with fault counters.
+type Stats struct {
+	blockdev.Stats
+	// Faults counts member I/O errors observed by the array.
+	Faults int64
+	// MemberLosses counts members declared failed.
+	MemberLosses int64
 }
 
 // NewArray0 builds a RAID0 array over members with the given chunk size
@@ -43,7 +59,39 @@ func NewArray0(members []blockdev.Device, chunkBlocks int64) (*Array0, error) {
 		members:     members,
 		chunkBlocks: chunkBlocks,
 		blocks:      usableChunks * chunkBlocks * int64(len(members)),
+		failed:      make([]bool, len(members)),
 	}, nil
+}
+
+// noteError records a member error, marking the member failed when the
+// error classifies as device loss.
+func (a *Array0) noteError(m int, err error) {
+	a.Stats.Faults++
+	if blockdev.Classify(err) == blockdev.ClassDeviceLost && !a.failed[m] {
+		a.failed[m] = true
+		a.Stats.MemberLosses++
+	}
+}
+
+// FailedMembers returns the indices of members declared failed.
+func (a *Array0) FailedMembers() []int {
+	var out []int
+	for m, f := range a.failed {
+		if f {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Healthy reports whether every member is still in service.
+func (a *Array0) Healthy() bool {
+	for _, f := range a.failed {
+		if f {
+			return false
+		}
+	}
+	return true
 }
 
 // Blocks returns the array capacity in blocks.
@@ -68,8 +116,13 @@ func (a *Array0) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
 		return 0, err
 	}
 	m, mlba := a.locate(lba)
+	if a.failed[m] {
+		a.Stats.Faults++
+		return 0, fmt.Errorf("raid: member %d failed: %w", m, blockdev.ErrDeviceLost)
+	}
 	d, err := a.members[m].ReadBlock(mlba, buf)
 	if err != nil {
+		a.noteError(m, err)
 		return 0, fmt.Errorf("raid: member %d: %w", m, err)
 	}
 	a.Stats.NoteRead(blockdev.BlockSize, d)
@@ -82,8 +135,13 @@ func (a *Array0) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
 		return 0, err
 	}
 	m, mlba := a.locate(lba)
+	if a.failed[m] {
+		a.Stats.Faults++
+		return 0, fmt.Errorf("raid: member %d failed: %w", m, blockdev.ErrDeviceLost)
+	}
 	d, err := a.members[m].WriteBlock(mlba, buf)
 	if err != nil {
+		a.noteError(m, err)
 		return 0, fmt.Errorf("raid: member %d: %w", m, err)
 	}
 	a.Stats.NoteWrite(blockdev.BlockSize, d)
@@ -129,4 +187,4 @@ func (a *Array0) SetFill(f blockdev.FillFunc) {
 var _ blockdev.Filler = (*Array0)(nil)
 
 // ResetStats zeroes the array-level statistics.
-func (a *Array0) ResetStats() { a.Stats = blockdev.Stats{} }
+func (a *Array0) ResetStats() { a.Stats = Stats{} }

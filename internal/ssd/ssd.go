@@ -67,6 +67,11 @@ type Config struct {
 	// WearWeight blends wear into GC victim selection: 0 = pure greedy
 	// (fewest valid pages), larger values prefer low-erase-count blocks.
 	WearWeight float64
+	// RetireWornBlocks removes erase blocks from circulation once they
+	// exceed EraseLimit instead of merely counting them. A device whose
+	// free pool runs dry then fails writes with blockdev.ErrMedia — the
+	// end-of-life behaviour the fault-injection tests exercise.
+	RetireWornBlocks bool
 }
 
 // DefaultConfig returns an SLC device in the spirit of the paper's
@@ -164,6 +169,9 @@ type Stats struct {
 	MapMisses int64
 	// WornBlocks counts erase blocks that exceeded the erase limit.
 	WornBlocks int64
+	// RetiredBlocks counts worn erase blocks removed from circulation
+	// (RetireWornBlocks).
+	RetiredBlocks int64
 }
 
 // WriteAmplification returns physical programs per host write.
@@ -288,28 +296,35 @@ func (d *Device) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
 	if err := blockdev.CheckBuffer(buf); err != nil {
 		return 0, err
 	}
+	d.Stats.HostWrites++
+	lat := d.mapLookupCost(lba) + d.cfg.TransferLatency
+
+	// Program into the active block first; channel interleaving divides
+	// the program time seen by a stream of writes. When the device is
+	// out of programmable flash (worn blocks retired) the write fails as
+	// a program failure before any content or mapping state changes.
+	loc, gcTime, err := d.allocPage(lba)
+	if err != nil {
+		lat += gcTime
+		d.Stats.NoteWrite(blockdev.BlockSize, lat)
+		return lat, err
+	}
+
+	// Invalidate the previous physical page.
+	if d.mapped[lba] {
+		old := d.mapping[lba]
+		blk := &d.blocks[old.block]
+		if blk.pages[old.page] == lba {
+			blk.pages[old.page] = invalidPage
+			blk.valid--
+		}
+	}
 	b, ok := d.data[lba]
 	if !ok {
 		b = make([]byte, blockdev.BlockSize)
 		d.data[lba] = b
 	}
 	copy(b, buf)
-
-	d.Stats.HostWrites++
-	lat := d.mapLookupCost(lba) + d.cfg.TransferLatency
-
-	// Invalidate the previous physical page.
-	if d.mapped[lba] {
-		loc := d.mapping[lba]
-		blk := &d.blocks[loc.block]
-		if blk.pages[loc.page] == lba {
-			blk.pages[loc.page] = invalidPage
-			blk.valid--
-		}
-	}
-	// Program into the active block; channel interleaving divides the
-	// program time seen by a stream of writes.
-	loc, gcTime := d.allocPage(lba)
 	d.mapping[lba] = loc
 	d.mapped[lba] = true
 	d.Stats.PagesProgrammed++
@@ -324,13 +339,19 @@ func (d *Device) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
 
 // allocPage takes the next free physical page, opening a new active
 // block (and garbage-collecting) as needed, and records the logical
-// owner. It returns the location and any GC time incurred.
-func (d *Device) allocPage(lba int64) (pageLoc, sim.Duration) {
+// owner. It returns the location and any GC time incurred. With worn
+// blocks retired a device can genuinely run out of programmable flash;
+// that surfaces as blockdev.ErrMedia.
+func (d *Device) allocPage(lba int64) (pageLoc, sim.Duration, error) {
 	var gcTime sim.Duration
 	blk := &d.blocks[d.active]
 	if blk.next >= d.cfg.PagesPerBlock {
 		gcTime = d.maybeGC()
-		d.active = d.popFree()
+		next, err := d.popFree()
+		if err != nil {
+			return pageLoc{}, gcTime, err
+		}
+		d.active = next
 		blk = &d.blocks[d.active]
 	}
 	loc := pageLoc{block: d.active, page: int32(blk.next)}
@@ -338,7 +359,7 @@ func (d *Device) allocPage(lba int64) (pageLoc, sim.Duration) {
 	blk.next++
 	blk.valid++
 	d.freePages--
-	return loc, gcTime
+	return loc, gcTime, nil
 }
 
 // placeGC puts one relocated page into the GC destination block, which
@@ -355,15 +376,17 @@ func (d *Device) placeGC(lba int64) {
 	d.freePages--
 }
 
-// popFree removes one erased block from the free list.
-func (d *Device) popFree() int32 {
+// popFree removes one erased block from the free list. An empty list
+// means the device has no programmable flash left — either genuinely
+// over-committed or worn down to nothing with RetireWornBlocks — and
+// the caller's write must fail rather than corrupt FTL state.
+func (d *Device) popFree() (int32, error) {
 	if len(d.freeList) == 0 {
-		// maybeGC guarantees progress unless the device is truly full.
-		panic("ssd: out of free blocks (device over-committed)")
+		return 0, fmt.Errorf("ssd: out of programmable flash blocks: %w", blockdev.ErrMedia)
 	}
 	idx := d.freeList[len(d.freeList)-1]
 	d.freeList = d.freeList[:len(d.freeList)-1]
-	return idx
+	return idx, nil
 }
 
 // maybeGC reclaims space until the free pool is above threshold,
@@ -454,8 +477,15 @@ func (d *Device) collectOne() (sim.Duration, bool) {
 		d.Stats.PagesProgrammed++
 	}
 	if freedWhole {
-		// Victim fully drained into the old destination: it is free.
-		d.freeList = append(d.freeList, victim)
+		if d.cfg.RetireWornBlocks && blk.erases > d.cfg.EraseLimit {
+			// End of endurance: the block leaves circulation instead of
+			// rejoining the free pool.
+			d.Stats.RetiredBlocks++
+			d.freePages -= int64(d.cfg.PagesPerBlock)
+		} else {
+			// Victim fully drained into the old destination: it is free.
+			d.freeList = append(d.freeList, victim)
+		}
 	}
 	d.Stats.GCTime += t
 	return t, true
@@ -532,7 +562,10 @@ func (d *Device) Preload(lba int64, content []byte) error {
 	copy(b, content)
 	if !d.mapped[lba] {
 		// Quietly place the page; GC cost rules still apply later.
-		loc, _ := d.allocPage(lba)
+		loc, _, err := d.allocPage(lba)
+		if err != nil {
+			return err
+		}
 		d.mapping[lba] = loc
 		d.mapped[lba] = true
 	}
