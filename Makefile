@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet test race bench examples
+.PHONY: check build vet test race bench bench-smoke fuzz-smoke clockcheck examples
 
-check: vet build race ## everything CI runs
+check: vet build race clockcheck bench-smoke ## everything CI's check job runs
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,16 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+bench-smoke: ## one iteration of every figure benchmark
+	$(GO) test -bench=Fig -benchtime=1x -run '^$$' .
+
+fuzz-smoke: ## 10s per fuzz target, seeded from testdata corpora
+	$(GO) test ./internal/delta -fuzz FuzzDeltaRoundTrip -fuzztime 10s
+	$(GO) test ./internal/core -fuzz FuzzLogReplay -fuzztime 10s
+
+clockcheck: ## sim tests with the runtime clock-ownership assertion
+	$(GO) test -tags clockcheck ./internal/sim/
 
 examples:
 	$(GO) run ./examples/quickstart

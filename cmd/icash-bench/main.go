@@ -7,6 +7,8 @@
 //	icash-bench -run fig6a,fig7          # specific experiments
 //	icash-bench -list                    # show the experiment index
 //	icash-bench -run fig6a -scale 0.02   # bigger run (default 1/256)
+//	icash-bench -run fig15 -qd 8 -vms    # overlapping I/O, per-VM streams
+//	icash-bench -qdsweep                 # RAID0 queue-depth scaling table
 //
 // Each experiment prints measured values next to the paper's reported
 // values; the reproduction criterion is the shape (who wins, by roughly
@@ -26,12 +28,35 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "", "comma-separated experiment IDs, or 'all'")
-		list  = flag.Bool("list", false, "list all experiments and exit")
-		scale = flag.Float64("scale", 1.0/256, "data-set and op-count scale relative to the paper")
-		seed  = flag.Uint64("seed", 42, "workload random seed")
+		run     = flag.String("run", "", "comma-separated experiment IDs, or 'all'")
+		list    = flag.Bool("list", false, "list all experiments and exit")
+		scale   = flag.Float64("scale", 1.0/256, "data-set and op-count scale relative to the paper")
+		seed    = flag.Uint64("seed", 42, "workload random seed")
+		qd      = flag.Int("qd", 1, "outstanding requests per stream (1 = classic serial issue)")
+		vms     = flag.Bool("vms", false, "run multi-VM benchmarks as interleaved per-VM streams")
+		qdsweep = flag.Bool("qdsweep", false, "print the RAID0 random-read queue-depth scaling table and exit")
 	)
 	flag.Parse()
+
+	if *qdsweep {
+		opts := workload.Options{Seed: *seed}
+		scaleSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				scaleSet = true
+			}
+		})
+		if scaleSet {
+			opts.Scale = *scale
+		}
+		report, err := harness.QDSweep(nil, opts)
+		fmt.Print(report)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icash-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *run == "" {
 		fmt.Println("experiments (use -run ID[,ID...] or -run all):")
@@ -45,7 +70,7 @@ func main() {
 	}
 
 	ids := strings.Split(*run, ",")
-	opts := workload.Options{Scale: *scale, Seed: *seed}
+	opts := workload.Options{Scale: *scale, Seed: *seed, QueueDepth: *qd, StreamPerVM: *vms}
 	report, err := harness.RunExperiments(ids, opts)
 	fmt.Print(report)
 	if err != nil {

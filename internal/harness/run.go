@@ -38,6 +38,18 @@ type Result struct {
 
 	PageCacheHitRatio float64
 
+	// QueueDepth and Streams describe the issue mode that produced the
+	// result: outstanding requests per stream and number of interleaved
+	// per-VM streams (1 each on the classic serial path).
+	QueueDepth int
+	Streams    int
+	// QueueWait is the per-block device queueing delay distribution
+	// (zero on the serial path: one request never queues).
+	QueueWait metrics.LatencyRecorder
+	// Stations is the per-station utilization/queue accounting from the
+	// concurrency engine; nil on the serial path.
+	Stations []metrics.StationStats
+
 	// SSD wear metrics (Table 6 and §5.3).
 	SSDHostWrites int64
 	SSDErases     int64
@@ -93,7 +105,35 @@ func Populate(sys *System, gen *workload.Generator) error {
 // Run drives gen against sys to completion and collects a Result. The
 // generator must be freshly Reset; the system must be freshly built.
 // Populate is normally called first.
+//
+// The issue mode comes from the generator's options: QueueDepth <= 1
+// with a single stream takes the classic serial path (one request at a
+// time on the shared clock — bit-identical to the pre-engine harness);
+// anything else runs on the discrete-event engine with overlapping
+// requests.
 func Run(sys *System, gen *workload.Generator) (*Result, error) {
+	opts := gen.Options()
+	qd := opts.QueueDepth
+	if qd < 1 {
+		qd = 1
+	}
+	streams := []*workload.Generator{gen}
+	if opts.StreamPerVM {
+		if vs := gen.VMStreams(); vs != nil {
+			streams = vs
+		}
+	}
+	if qd <= 1 && len(streams) == 1 {
+		return runSerial(sys, gen)
+	}
+	return runConcurrent(sys, gen, streams, qd)
+}
+
+// runSerial is the classic one-request-at-a-time path: the clock
+// advances by each request's full service time before the next request
+// issues. Kept verbatim so QD=1 single-stream results stay bit-identical
+// across the engine's introduction.
+func runSerial(sys *System, gen *workload.Generator) (*Result, error) {
 	p := gen.Profile()
 	res := &Result{System: sys.Name(), Benchmark: p.Name}
 	sys.SetFill(gen.Fill)
@@ -157,6 +197,18 @@ func Run(sys *System, gen *workload.Generator) (*Result, error) {
 		return nil, fmt.Errorf("harness: %s flush: %w", sys.Name(), err)
 	}
 
+	res.QueueDepth = 1
+	res.Streams = 1
+	res.PageCacheHitRatio = pc.hitRatio()
+	finalize(sys, res, p, start)
+	return res, nil
+}
+
+// finalize computes the derived measurements of a finished run (rates,
+// CPU utilization, device and power accounting) from the system's
+// current state. Shared by the serial and concurrent paths.
+func finalize(sys *System, res *Result, p workload.Profile, start sim.Time) {
+	clock := sys.Clock
 	res.Elapsed = clock.Now().Sub(start)
 	secs := res.Elapsed.Seconds()
 	if secs > 0 {
@@ -167,7 +219,6 @@ func Run(sys *System, gen *workload.Generator) (*Result, error) {
 		}
 		res.TxnPerSec = float64(res.Ops) / float64(txn) / secs
 	}
-	res.PageCacheHitRatio = pc.hitRatio()
 
 	// CPU utilization: the benchmark's application level plus the
 	// storage stack's measured compute share (the paper's figures show
@@ -214,7 +265,6 @@ func Run(sys *System, gen *workload.Generator) (*Result, error) {
 		st := sys.HDDFault.Stats
 		res.HDDFaultStats = &st
 	}
-	return res, nil
 }
 
 // BenchmarkRun bundles the per-system results of one benchmark.

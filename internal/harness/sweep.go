@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"icash/internal/metrics"
+	"icash/internal/workload"
+)
+
+// QDSweepScale is the default data-set scale for the queue-depth sweep:
+// chosen so the scaled data set is a whole number of RAID0 stripes
+// (245760 blocks / 120 = 2048 = 16 stripes of 4x32), so all four
+// members carry equal chunk counts and the measured scaling reflects
+// device parallelism rather than stripe-rounding imbalance.
+const QDSweepScale = 1.0 / 120
+
+// QDSweep measures RAID0 random-read throughput against queue depth
+// (the RandRead microbenchmark) and renders a scaling table with
+// per-station utilization. A 4-disk array should approach 4x the QD=1
+// throughput once enough requests are in flight (>=3x at QD=8).
+func QDSweep(depths []int, opts workload.Options) (string, error) {
+	if len(depths) == 0 {
+		depths = []int{1, 2, 4, 8, 16, 32}
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = QDSweepScale
+	}
+	if opts.MaxOps <= 0 {
+		opts.MaxOps = 4000
+	}
+	p := workload.RandRead()
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== qdsweep: %s on RAID0 (scale %.5f, %d ops) ===\n",
+		p.Name, opts.Scale, opts.MaxOps)
+	base := 0.0
+	for _, qd := range depths {
+		o := opts
+		o.QueueDepth = qd
+		br, err := RunBenchmark(p, o, []Kind{RAID0})
+		if err != nil {
+			return b.String(), err
+		}
+		r := br.Results[RAID0]
+		if base == 0 {
+			base = r.ReqPerSec
+		}
+		fmt.Fprintf(&b, "qd=%-3d req/s=%8.0f speedup=%5.2fx elapsed=%v\n",
+			qd, r.ReqPerSec, r.ReqPerSec/base, r.Elapsed)
+		b.WriteString(metrics.FormatStations(r.Stations, "  ", true))
+	}
+	return b.String(), nil
+}

@@ -14,6 +14,7 @@ import (
 	"icash/internal/hdd"
 	"icash/internal/raid"
 	"icash/internal/sim"
+	"icash/internal/sim/event"
 	"icash/internal/ssd"
 )
 
@@ -102,6 +103,13 @@ type System struct {
 	SSDFault *fault.Device
 	HDDFault *fault.Device
 
+	// Tracer and Stations are the concurrency-engine hookup: every SSD
+	// channel and HDD actuator is a service station, and devices note
+	// their per-request service times through the tracer. The serial
+	// (QD=1) path never begins a trace, so the stations stay idle there.
+	Tracer   *event.Tracer
+	Stations []*event.Server
+
 	flush func() error
 }
 
@@ -146,7 +154,31 @@ func (s *System) ResetStats() {
 	if s.HDDFault != nil {
 		s.HDDFault.ResetStats()
 	}
+	for _, st := range s.Stations {
+		st.ResetStats()
+	}
 	s.CPU.Reset()
+}
+
+// instrument builds one service station per independently serving unit
+// — each SSD channel, each HDD actuator — and connects the devices to
+// the shared tracer. Called once at the end of Build.
+func (s *System) instrument() {
+	s.Tracer = event.NewTracer()
+	if s.SSD != nil {
+		n := s.SSD.Config().Channels
+		chans := make([]*event.Server, n)
+		for i := range chans {
+			chans[i] = event.NewServer(fmt.Sprintf("ssd.ch%d", i), event.DefaultQueueCap)
+			s.Stations = append(s.Stations, chans[i])
+		}
+		s.SSD.Instrument(s.Tracer, chans)
+	}
+	for i, h := range s.HDDs {
+		srv := event.NewServer(fmt.Sprintf("hdd%d", i), event.DefaultQueueCap)
+		s.Stations = append(s.Stations, srv)
+		h.Instrument(s.Tracer, srv)
+	}
 }
 
 // SetFill installs the workload's initial-content oracle on every
@@ -290,6 +322,7 @@ func Build(kind Kind, cfg BuildConfig) (*System, error) {
 	default:
 		return nil, fmt.Errorf("harness: unknown system kind %d", kind)
 	}
+	s.instrument()
 	return s, nil
 }
 

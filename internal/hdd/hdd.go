@@ -13,6 +13,7 @@ import (
 
 	"icash/internal/blockdev"
 	"icash/internal/sim"
+	"icash/internal/sim/event"
 )
 
 // Config describes the simulated drive. Defaults approximate the paper's
@@ -93,6 +94,12 @@ type Device struct {
 	// streams holds the next expected LBA of recently active sequential
 	// streams, most recent first.
 	streams [streamSlots]int64
+
+	// tracer/station connect the drive to the concurrency engine: each
+	// serviced request notes its mechanical time against the actuator
+	// station. Nil when uninstrumented (standalone use).
+	tracer  *event.Tracer
+	station *event.Server
 
 	// Stats is externally visible accounting.
 	Stats Stats
@@ -255,6 +262,7 @@ func (d *Device) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
 		// The drive still pays the mechanical cost of the failed attempt.
 		lat := d.access(lba, false)
 		d.Stats.MediaErrors++
+		d.tracer.Note(d.station, lat)
 		return lat, fmt.Errorf("hdd: latent sector error at lba %d: %w", lba, blockdev.ErrMedia)
 	}
 	if b, ok := d.data[lba]; ok {
@@ -268,6 +276,7 @@ func (d *Device) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
 	}
 	lat := d.access(lba, false)
 	d.Stats.NoteRead(blockdev.BlockSize, lat)
+	d.tracer.Note(d.station, lat)
 	return lat, nil
 }
 
@@ -290,6 +299,7 @@ func (d *Device) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
 	delete(d.bad, lba)
 	lat := d.access(lba, true)
 	d.Stats.NoteWrite(blockdev.BlockSize, lat)
+	d.tracer.Note(d.station, lat)
 	return lat, nil
 }
 
@@ -329,6 +339,14 @@ var _ blockdev.Preloader = (*Device)(nil)
 func (d *Device) SetFill(f blockdev.FillFunc) { d.fill = f }
 
 var _ blockdev.Filler = (*Device)(nil)
+
+// Instrument connects the drive to the concurrency engine: every
+// serviced request notes its mechanical service time against srv via
+// tr. A nil tracer detaches the drive.
+func (d *Device) Instrument(tr *event.Tracer, srv *event.Server) {
+	d.tracer = tr
+	d.station = srv
+}
 
 // ResetStats zeroes the accumulated statistics.
 func (d *Device) ResetStats() { d.Stats = Stats{} }

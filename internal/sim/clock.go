@@ -63,6 +63,14 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // Clock is the simulated clock. A single Clock is shared by every
 // component of one simulated machine. Clock is not safe for concurrent
 // use; the simulation is single-threaded by design (determinism).
+//
+// Single-owner rule: exactly one goroutine — the one driving the run,
+// normally via the event scheduler — may mutate a Clock over its
+// lifetime (see DESIGN.md, "Clock ownership"). Builds with the
+// `clockcheck` tag enforce the rule at runtime: the first mutation
+// binds the clock to that goroutine and any mutation from another
+// goroutine panics. Reset releases the binding, making the per-run
+// hand-off between owners explicit.
 type Clock struct {
 	now Time
 }
@@ -76,6 +84,7 @@ func (c *Clock) Now() Time { return c.now }
 // Advance moves the clock forward by d. Negative d is a programming
 // error and panics: simulated time never runs backwards.
 func (c *Clock) Advance(d Duration) {
+	c.assertOwner()
 	if d < 0 {
 		panic(fmt.Sprintf("sim: clock advanced by negative duration %v", d))
 	}
@@ -85,11 +94,22 @@ func (c *Clock) Advance(d Duration) {
 // AdvanceTo moves the clock forward to instant t. If t is in the past
 // the clock is unchanged (useful for "device becomes free at" logic).
 func (c *Clock) AdvanceTo(t Time) {
+	c.assertOwner()
 	if t > c.now {
 		c.now = t
 	}
 }
 
-// Reset rewinds the clock to zero. Only experiment harnesses call this,
-// between independent runs.
-func (c *Clock) Reset() { c.now = 0 }
+// Reset rewinds the clock to zero, for reuse across independent runs.
+// Reset is the explicit per-run boundary: it also releases the clock's
+// goroutine binding under the `clockcheck` tag, so the next run's
+// driving goroutine (which may be a different test or worker) becomes
+// the new owner on its first mutation. Only call Reset between runs,
+// never while a run is in flight — in-flight durations would silently
+// span the rewind. The experiment harness instead builds a fresh Clock
+// per system (see harness.Build), which needs no Reset at all.
+func (c *Clock) Reset() {
+	c.assertOwner()
+	c.now = 0
+	c.releaseOwner()
+}

@@ -1,0 +1,10 @@
+//go:build !clockcheck
+
+package sim
+
+// assertOwner is a no-op in normal builds; the `clockcheck` build tag
+// replaces it with a runtime single-owner assertion.
+func (c *Clock) assertOwner() {}
+
+// releaseOwner is a no-op in normal builds.
+func (c *Clock) releaseOwner() {}

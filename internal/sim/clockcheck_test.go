@@ -1,0 +1,33 @@
+//go:build clockcheck
+
+package sim
+
+import "testing"
+
+// TestClockOwnershipAssertion verifies the clockcheck build catches a
+// clock mutated from two goroutines, and that Reset hands ownership to
+// the next goroutine explicitly.
+func TestClockOwnershipAssertion(t *testing.T) {
+	c := NewClock()
+	c.Advance(10) // this goroutine becomes the owner
+
+	panicked := make(chan bool, 1)
+	go func() {
+		defer func() { panicked <- recover() != nil }()
+		c.Advance(1)
+	}()
+	if !<-panicked {
+		t.Fatal("cross-goroutine clock mutation did not panic under clockcheck")
+	}
+
+	// Reset releases ownership: a new goroutine may adopt the clock.
+	c.Reset()
+	adopted := make(chan bool, 1)
+	go func() {
+		defer func() { adopted <- recover() == nil }()
+		c.Advance(5)
+	}()
+	if !<-adopted {
+		t.Fatal("clock mutation after Reset panicked; Reset must release ownership")
+	}
+}

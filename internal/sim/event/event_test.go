@@ -1,0 +1,247 @@
+package event
+
+import (
+	"testing"
+
+	"icash/internal/sim"
+)
+
+// TestSchedulerOrdering is the core property test: random event sets
+// always dequeue in nondecreasing time, and events that share a
+// timestamp dequeue in the order they were scheduled (FIFO among ties).
+func TestSchedulerOrdering(t *testing.T) {
+	rng := sim.NewRand(1)
+	for trial := 0; trial < 200; trial++ {
+		clock := sim.NewClock()
+		sch := NewScheduler(clock)
+		n := 1 + int(rng.Intn(64))
+		type fired struct {
+			at  sim.Time
+			ord int
+		}
+		var got []fired
+		// Few distinct timestamps forces many ties.
+		for i := 0; i < n; i++ {
+			at := sim.Time(rng.Intn(8)) * 100
+			ord := i
+			sch.At(at, func() { got = append(got, fired{at, ord}) })
+		}
+		sch.Run()
+		if len(got) != n {
+			t.Fatalf("trial %d: dispatched %d of %d events", trial, len(got), n)
+		}
+		for i := 1; i < n; i++ {
+			if got[i].at < got[i-1].at {
+				t.Fatalf("trial %d: time regressed: %v after %v", trial, got[i].at, got[i-1].at)
+			}
+			if got[i].at == got[i-1].at && got[i].ord < got[i-1].ord {
+				t.Fatalf("trial %d: tie broken out of schedule order: %d after %d",
+					trial, got[i].ord, got[i-1].ord)
+			}
+		}
+	}
+}
+
+// TestSchedulerReentrant checks events scheduled from inside callbacks
+// dispatch correctly, including at the current instant.
+func TestSchedulerReentrant(t *testing.T) {
+	clock := sim.NewClock()
+	sch := NewScheduler(clock)
+	var order []int
+	sch.At(10, func() {
+		order = append(order, 1)
+		sch.After(0, func() { order = append(order, 2) }) // same instant, after existing ties
+		sch.After(5, func() { order = append(order, 4) })
+	})
+	sch.At(10, func() { order = append(order, 3) })
+	sch.Run()
+	want := []int{1, 3, 2, 4}
+	if len(order) != len(want) {
+		t.Fatalf("dispatched %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", order, want)
+		}
+	}
+	if clock.Now() != 15 {
+		t.Fatalf("clock = %v, want 15", clock.Now())
+	}
+}
+
+// TestSchedulerPastPanics verifies scheduling into the past is rejected.
+func TestSchedulerPastPanics(t *testing.T) {
+	clock := sim.NewClock()
+	clock.AdvanceTo(100)
+	sch := NewScheduler(clock)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling into the past did not panic")
+		}
+	}()
+	sch.At(50, func() {})
+}
+
+// TestServerProperties drives a station with random arrivals and checks
+// the queueing invariants: service never starts before arrival, done is
+// exactly start+svc, starts are FIFO (nondecreasing), and the
+// busy-until horizon never regresses.
+func TestServerProperties(t *testing.T) {
+	rng := sim.NewRand(2)
+	for trial := 0; trial < 100; trial++ {
+		s := NewServer("dev", DefaultQueueCap)
+		var arrival sim.Time
+		var lastStart, lastBusy sim.Time
+		for i := 0; i < 500; i++ {
+			arrival = arrival.Add(sim.Duration(rng.Intn(300)))
+			svc := sim.Duration(rng.Intn(1000))
+			start, done := s.Admit(arrival, svc)
+			if start < arrival {
+				t.Fatalf("trial %d op %d: start %v before arrival %v", trial, i, start, arrival)
+			}
+			if done != start.Add(svc) {
+				t.Fatalf("trial %d op %d: done %v != start %v + svc %v", trial, i, done, start, svc)
+			}
+			if start < lastStart {
+				t.Fatalf("trial %d op %d: FIFO violated: start %v before previous %v",
+					trial, i, start, lastStart)
+			}
+			if s.BusyUntil() < lastBusy {
+				t.Fatalf("trial %d op %d: busy-until regressed %v -> %v",
+					trial, i, lastBusy, s.BusyUntil())
+			}
+			lastStart, lastBusy = start, s.BusyUntil()
+		}
+		if s.Ops != 500 {
+			t.Fatalf("trial %d: ops = %d, want 500", trial, s.Ops)
+		}
+	}
+}
+
+// TestServerBoundedQueue checks that a full queue gates admission on the
+// oldest occupant's completion rather than growing without bound.
+func TestServerBoundedQueue(t *testing.T) {
+	const cap = 4
+	s := NewServer("dev", cap)
+	// Saturate: all requests arrive at t=0, each needs 100.
+	for i := 0; i < cap; i++ {
+		s.Admit(0, 100)
+	}
+	if s.Stalls != 0 {
+		t.Fatalf("stalls before queue full: %d", s.Stalls)
+	}
+	// Queue holds cap occupants completing at 100..400. The next arrival
+	// at t=0 must wait for the oldest (t=100) to leave before admission,
+	// then start when the station frees at t=400.
+	start, done := s.Admit(0, 100)
+	if s.Stalls != 1 {
+		t.Fatalf("stalls = %d, want 1", s.Stalls)
+	}
+	if start != 400 || done != 500 {
+		t.Fatalf("start,done = %v,%v, want 400,500", start, done)
+	}
+	if s.QueuePeak > cap+1 {
+		t.Fatalf("queue peak %d exceeds cap+1", s.QueuePeak)
+	}
+	// An arrival after everything drains sees an idle station.
+	start, done = s.Admit(1000, 50)
+	if start != 1000 || done != 1050 {
+		t.Fatalf("idle admit start,done = %v,%v, want 1000,1050", start, done)
+	}
+}
+
+// TestServerParallelism is the point of the engine: two stations serve
+// two simultaneous arrivals in parallel, one station serializes them.
+func TestServerParallelism(t *testing.T) {
+	a := NewServer("a", 0)
+	b := NewServer("b", 0)
+	_, doneA := a.Admit(0, 1000)
+	_, doneB := b.Admit(0, 1000)
+	if doneA != 1000 || doneB != 1000 {
+		t.Fatalf("parallel stations: done %v,%v, want 1000,1000", doneA, doneB)
+	}
+	one := NewServer("one", 0)
+	_, d1 := one.Admit(0, 1000)
+	_, d2 := one.Admit(0, 1000)
+	if d1 != 1000 || d2 != 2000 {
+		t.Fatalf("single station: done %v,%v, want 1000,2000", d1, d2)
+	}
+}
+
+// TestReplaySerializesWithinRequest checks a request's own segments
+// never overlap (the stack walks them sequentially) while the wait
+// returned excludes service time.
+func TestReplaySerializesWithinRequest(t *testing.T) {
+	a := NewServer("a", 0)
+	b := NewServer("b", 0)
+	segs := []Segment{{a, 100}, {b, 200}}
+	wait := Replay(segs, 0)
+	if wait != 0 {
+		t.Fatalf("uncontended replay wait = %v, want 0", wait)
+	}
+	if a.BusyUntil() != 100 || b.BusyUntil() != 300 {
+		t.Fatalf("busy-until a=%v b=%v, want 100, 300", a.BusyUntil(), b.BusyUntil())
+	}
+	// A second identical request arriving at 0 queues behind the first at
+	// each station: a from 100, b from max(200, 300)=300.
+	wait = Replay(segs, 0)
+	if wait != 200 {
+		t.Fatalf("contended replay wait = %v, want 200", wait)
+	}
+	if b.BusyUntil() != 500 {
+		t.Fatalf("busy-until b=%v, want 500", b.BusyUntil())
+	}
+}
+
+// TestTracerIdle verifies Note is a no-op on nil and idle tracers.
+func TestTracerIdle(t *testing.T) {
+	var nilT *Tracer
+	nilT.Note(NewServer("x", 0), 10) // must not panic
+	tr := NewTracer()
+	tr.Note(NewServer("x", 0), 10) // idle: dropped
+	tr.Begin()
+	s := NewServer("x", 0)
+	tr.Note(s, 10)
+	tr.Note(nil, 10) // nil server: dropped
+	segs := tr.Take()
+	if len(segs) != 1 || segs[0].Server != s || segs[0].Svc != 10 {
+		t.Fatalf("segments = %+v", segs)
+	}
+	tr.Note(s, 10) // after Take: dropped
+	tr.Begin()
+	if got := tr.Take(); len(got) != 0 {
+		t.Fatalf("stale segments after Begin: %+v", got)
+	}
+}
+
+// TestSchedulerDeterminism runs the same random schedule twice and
+// requires identical dispatch sequences.
+func TestSchedulerDeterminism(t *testing.T) {
+	run := func() []sim.Time {
+		rng := sim.NewRand(7)
+		clock := sim.NewClock()
+		sch := NewScheduler(clock)
+		var seq []sim.Time
+		for i := 0; i < 100; i++ {
+			sch.At(sim.Time(rng.Intn(50)), func() {
+				seq = append(seq, clock.Now())
+				if rng.Intn(2) == 0 {
+					sch.After(sim.Duration(rng.Intn(20)), func() {
+						seq = append(seq, clock.Now())
+					})
+				}
+			})
+		}
+		sch.Run()
+		return seq
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("dispatch %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package event
+
+import (
+	"fmt"
+
+	"icash/internal/metrics"
+	"icash/internal/sim"
+)
+
+// DefaultQueueCap is the per-station queue bound used by the harness:
+// the 32-entry NCQ window of a SATA device.
+const DefaultQueueCap = 32
+
+// Server models one service station of a device: an SSD channel, an HDD
+// actuator, or one member of a RAID stripe. A station serves requests
+// one at a time in FIFO order; concurrency across stations is what the
+// engine exploits.
+//
+// The station keeps a busy-until horizon (the instant its last admitted
+// request completes) and a bounded queue: a request arriving when the
+// queue is full cannot even be enqueued until an occupant completes —
+// the backpressure a full NCQ slot table exerts on the host.
+type Server struct {
+	name     string
+	queueCap int
+
+	busyUntil sim.Time
+	// occupants holds the completion instants of admitted requests that
+	// may still be in the station (queued or in service), oldest first.
+	// Admission drains completed entries, so its length is the queue
+	// occupancy seen by the next arrival.
+	occupants []sim.Time
+
+	// Ops counts admitted requests.
+	Ops int64
+	// BusyTime is accumulated service time (utilization numerator).
+	BusyTime sim.Duration
+	// Wait is the queue-wait distribution (time between arrival and
+	// service start).
+	Wait metrics.LatencyRecorder
+	// QueuePeak is the largest queue occupancy observed at admission.
+	QueuePeak int
+	// Stalls counts admissions that found the bounded queue full and had
+	// to wait for a slot.
+	Stalls int64
+}
+
+// NewServer returns a station with the given queue bound. queueCap <= 0
+// means unbounded.
+func NewServer(name string, queueCap int) *Server {
+	return &Server{name: name, queueCap: queueCap}
+}
+
+// Name returns the station label.
+func (s *Server) Name() string { return s.name }
+
+// BusyUntil returns the instant the station's last admitted request
+// completes. It never regresses.
+func (s *Server) BusyUntil() sim.Time { return s.busyUntil }
+
+// Admit schedules one request with service demand svc arriving at
+// arrival. It returns the instant service starts (after any queue wait)
+// and the completion instant. FIFO order holds: completions are
+// admitted in nondecreasing order of (arrival, admission sequence), and
+// the busy-until horizon never regresses.
+func (s *Server) Admit(arrival sim.Time, svc sim.Duration) (start, done sim.Time) {
+	if svc < 0 {
+		panic(fmt.Sprintf("event: %s: negative service time %v", s.name, svc))
+	}
+	// Free the slots of requests that completed before this arrival.
+	n := 0
+	for n < len(s.occupants) && s.occupants[n] <= arrival {
+		n++
+	}
+	if n > 0 {
+		s.occupants = s.occupants[:copy(s.occupants, s.occupants[n:])]
+	}
+	gate := arrival
+	if s.queueCap > 0 && len(s.occupants) >= s.queueCap {
+		// Queue full: admission blocks until the oldest occupant leaves.
+		gate = s.occupants[0]
+		s.occupants = s.occupants[:copy(s.occupants, s.occupants[1:])]
+		s.Stalls++
+	}
+	start = gate
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	done = start.Add(svc)
+	s.busyUntil = done
+	s.occupants = append(s.occupants, done)
+	if len(s.occupants) > s.QueuePeak {
+		s.QueuePeak = len(s.occupants)
+	}
+	s.Ops++
+	s.BusyTime += svc
+	s.Wait.Record(start.Sub(arrival))
+	return start, done
+}
+
+// Snapshot renders the station's accounting over an observation window.
+func (s *Server) Snapshot(elapsed sim.Duration) metrics.StationStats {
+	st := metrics.StationStats{
+		Name:      s.name,
+		Ops:       s.Ops,
+		Busy:      s.BusyTime,
+		QueuePeak: s.QueuePeak,
+		Stalls:    s.Stalls,
+		Wait:      s.Wait,
+	}
+	if elapsed > 0 {
+		st.Utilization = float64(s.BusyTime) / float64(elapsed)
+		if st.Utilization > 1 {
+			st.Utilization = 1
+		}
+	}
+	return st
+}
+
+// ResetStats zeroes the accumulated statistics. The busy-until horizon
+// and queue occupancy are preserved: they are simulation state, not
+// accounting.
+func (s *Server) ResetStats() {
+	s.Ops = 0
+	s.BusyTime = 0
+	s.Wait = metrics.LatencyRecorder{}
+	s.QueuePeak = 0
+	s.Stalls = 0
+}

@@ -1,0 +1,65 @@
+package event
+
+import "icash/internal/sim"
+
+// Segment is one station visit recorded during a synchronous walk
+// through the device stack: the station touched and its service demand.
+type Segment struct {
+	Server *Server
+	Svc    sim.Duration
+}
+
+// Tracer collects the station visits of one in-flight request. The
+// harness begins a trace, calls the (synchronous, single-goroutine)
+// device stack, then takes the segments and replays them onto the
+// station timelines to discover queueing delays.
+//
+// Devices hold a *Tracer and call Note from their service paths; a nil
+// tracer or an inactive one makes Note a no-op, so standalone device
+// use (unit tests, tools) is unaffected.
+type Tracer struct {
+	active bool
+	segs   []Segment
+}
+
+// NewTracer returns an idle tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Begin starts collecting segments for one request, discarding any
+// previous trace.
+func (t *Tracer) Begin() {
+	t.active = true
+	t.segs = t.segs[:0]
+}
+
+// Note records one station visit. Safe on a nil or idle tracer.
+func (t *Tracer) Note(s *Server, svc sim.Duration) {
+	if t == nil || !t.active || s == nil {
+		return
+	}
+	t.segs = append(t.segs, Segment{Server: s, Svc: svc})
+}
+
+// Take ends the trace and returns the collected segments. The slice is
+// valid until the next Begin.
+func (t *Tracer) Take() []Segment {
+	t.active = false
+	return t.segs
+}
+
+// Replay admits the traced segments of one request, in order, onto
+// their stations starting at arrival, and returns the total queueing
+// delay the request experienced beyond its service demands. Each
+// segment begins no earlier than the previous one completed (the stack
+// walked them sequentially), so intra-request dependencies serialize
+// while independent requests overlap across stations.
+func Replay(segs []Segment, arrival sim.Time) sim.Duration {
+	cursor := arrival
+	var wait sim.Duration
+	for i := range segs {
+		start, done := segs[i].Server.Admit(cursor, segs[i].Svc)
+		wait += start.Sub(cursor)
+		cursor = done
+	}
+	return wait
+}

@@ -22,6 +22,7 @@ import (
 
 	"icash/internal/blockdev"
 	"icash/internal/sim"
+	"icash/internal/sim/event"
 )
 
 // Config describes the simulated device. The zero value is not usable;
@@ -140,6 +141,12 @@ type Device struct {
 
 	readCache *clockCache // device DRAM read cache over logical pages
 	mapCache  *clockCache // FTL mapping cache over logical pages
+
+	// tracer/channels connect the device to the concurrency engine:
+	// each request notes its service time against one channel station
+	// (lba-striped). Nil when uninstrumented (standalone use).
+	tracer   *event.Tracer
+	channels []*event.Server
 
 	// Stats is externally visible accounting.
 	Stats Stats
@@ -282,6 +289,7 @@ func (d *Device) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
 		lat = d.mapLookupCost(lba) + d.cfg.PageReadLatency + d.cfg.TransferLatency
 	}
 	d.Stats.NoteRead(blockdev.BlockSize, lat)
+	d.note(lba, lat)
 	return lat, nil
 }
 
@@ -307,6 +315,7 @@ func (d *Device) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
 	if err != nil {
 		lat += gcTime
 		d.Stats.NoteWrite(blockdev.BlockSize, lat)
+		d.note(lba, lat)
 		return lat, err
 	}
 
@@ -334,7 +343,25 @@ func (d *Device) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
 		d.readCache.touch(lba) // write allocates into device cache
 	}
 	d.Stats.NoteWrite(blockdev.BlockSize, lat)
+	d.note(lba, lat)
 	return lat, nil
+}
+
+// note records one serviced request against the lba's channel station.
+func (d *Device) note(lba int64, lat sim.Duration) {
+	if d.tracer == nil || len(d.channels) == 0 {
+		return
+	}
+	d.tracer.Note(d.channels[lba%int64(len(d.channels))], lat)
+}
+
+// Instrument connects the device to the concurrency engine: requests
+// note their service time against one of chans, striped by LBA (an
+// approximation of channel-level parallelism inside the drive). A nil
+// tracer detaches the device.
+func (d *Device) Instrument(tr *event.Tracer, chans []*event.Server) {
+	d.tracer = tr
+	d.channels = chans
 }
 
 // allocPage takes the next free physical page, opening a new active

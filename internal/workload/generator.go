@@ -27,6 +27,15 @@ type Options struct {
 	MaxOps int
 	// Seed makes the stream reproducible.
 	Seed uint64
+	// QueueDepth is the number of outstanding requests each stream keeps
+	// in flight (closed-loop issue). 0 or 1 selects the classic serial
+	// path: one request at a time.
+	QueueDepth int
+	// StreamPerVM splits a multi-VM profile into one independent
+	// generator per VM, interleaved by virtual arrival time, instead of
+	// a single serialized stream (Fig 15/16 as genuinely concurrent
+	// runs). Ignored for single-VM profiles.
+	StreamPerVM bool
 	// TuneICASH, when run through the experiment harness, overrides
 	// I-CASH controller parameters (ablation studies). Ignored by the
 	// generator itself.
@@ -54,6 +63,13 @@ type Generator struct {
 	numOps      int
 	emitted     int
 
+	// vmPin restricts the stream to one VM's image partition (per-VM
+	// stream mode); -1 means requests roam over all VMs.
+	vmPin int
+	// opsOverride, when positive, replaces the scaled request count
+	// (per-VM streams split the profile's total among themselves).
+	opsOverride int
+
 	// Sequential-run state.
 	nextSeq   int64
 	seqWrite  bool
@@ -76,13 +92,44 @@ func NewGenerator(p Profile, opts Options) *Generator {
 	if opts.Scale <= 0 {
 		opts.Scale = DefaultScale
 	}
-	g := &Generator{p: p, opts: opts}
+	g := &Generator{p: p, opts: opts, vmPin: -1}
 	g.Reset()
 	return g
 }
 
 // Profile returns the underlying benchmark profile.
 func (g *Generator) Profile() Profile { return g.p }
+
+// Options returns the scaling options the generator was built with.
+func (g *Generator) Options() Options { return g.opts }
+
+// VM returns the pinned VM index of a per-VM stream, or -1 for a
+// whole-data-set generator.
+func (g *Generator) VM() int { return g.vmPin }
+
+// VMStreams splits the generator into one independent stream per VM,
+// sharing the content model (same seed, same families, same initial
+// data set) but drawing requests only from their own image partition.
+// The profile's request budget is divided among the streams. Returns
+// nil for single-VM profiles.
+func (g *Generator) VMStreams() []*Generator {
+	vms := g.p.VMs
+	if vms <= 1 {
+		return nil
+	}
+	total := g.numOps
+	streams := make([]*Generator, vms)
+	for i := 0; i < vms; i++ {
+		share := total / vms
+		if i < total%vms {
+			share++
+		}
+		s := &Generator{p: g.p, opts: g.opts, vmPin: i, opsOverride: share}
+		s.Reset()
+		streams[i] = s
+	}
+	return streams
+}
 
 // DataBlocks returns the scaled data-set size in blocks.
 func (g *Generator) DataBlocks() int64 { return g.dataBlocks }
@@ -121,8 +168,18 @@ func (g *Generator) Reset() {
 	if opts.MaxOps > 0 && numOps > opts.MaxOps {
 		numOps = opts.MaxOps
 	}
+	if g.opsOverride > 0 {
+		numOps = g.opsOverride
+	}
 
-	g.rng = sim.NewRand(opts.Seed ^ 0x1CA5BEEF)
+	// A pinned per-VM stream salts the request RNG so the VMs issue
+	// distinct streams; the content model (family bases, block content)
+	// keys only off opts.Seed and stays shared across streams.
+	rngSeed := opts.Seed ^ 0x1CA5BEEF
+	if g.vmPin >= 0 {
+		rngSeed ^= uint64(g.vmPin+1) * 0x9E3779B97F4A7C15
+	}
+	g.rng = sim.NewRand(rngSeed)
 	g.dataBlocks = dataBlocks
 	g.imageBlocks = imageBlocks
 	g.numOps = numOps
@@ -179,10 +236,21 @@ func (g *Generator) pickLBA(length int) int64 {
 		}
 	}
 	vm := int64(0)
-	if g.p.VMs > 1 {
+	if g.vmPin >= 0 {
+		vm = int64(g.vmPin)
+	} else if g.p.VMs > 1 {
 		vm = int64(g.rng.Intn(g.p.VMs))
 	}
 	return vm*g.imageBlocks + off
+}
+
+// seqBound is the exclusive LBA limit for sequential runs: a pinned
+// stream stays inside its own VM image.
+func (g *Generator) seqBound() int64 {
+	if g.vmPin >= 0 {
+		return int64(g.vmPin+1) * g.imageBlocks
+	}
+	return g.dataBlocks
 }
 
 // Next returns the next request, or ok == false at end of stream.
@@ -197,7 +265,7 @@ func (g *Generator) Next() (Request, bool) {
 	if g.seqRemain > 0 && g.nextSeq >= 0 {
 		// Continue the sequential run.
 		length := g.reqBlocks(g.avgBytes(g.seqWrite))
-		if g.nextSeq+int64(length) > g.dataBlocks {
+		if g.nextSeq+int64(length) > g.seqBound() {
 			g.seqRemain = 0
 			return g.randomRequest(isWrite), true
 		}

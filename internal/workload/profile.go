@@ -261,6 +261,26 @@ func RUBiS5VM() Profile {
 	}
 }
 
+// RandRead is a synthetic uniform random-read microbenchmark (not in
+// Table 4): 4 KB reads, no skew, no sequentiality, negligible compute
+// and page cache. It isolates device-level parallelism — the queue-depth
+// scaling appendix drives it against RAID0 to show a 4-disk array
+// approaching 4x the QD=1 throughput once enough requests are in flight.
+func RandRead() Profile {
+	return Profile{
+		Name:        "RandRead",
+		Description: "synthetic uniform 4KB random reads (QD scaling)",
+		DataBytes:   960 << 20,
+		PaperReads:  800_000, PaperWrites: 0,
+		AvgReadBytes: 4096, AvgWriteBytes: 4096,
+		Skew: 0, SeqFraction: 0,
+		MutFrac: 0.02, Families: 64, DupFrac: 0.05,
+		AppCPU: 100 * sim.Microsecond, IOsPerTxn: 1,
+		VMRAMBytes: 64 << 20, SSDCacheBytes: 96 << 20, DeltaRAMBytes: 32 << 20,
+		BaseCPUUtil: 0.10, PCFraction: 0.02, FreshWriteFrac: 0,
+	}
+}
+
 // Table4 returns every benchmark profile in the paper's Table 4 order.
 func Table4() []Profile {
 	return []Profile{
