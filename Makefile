@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke fuzz-smoke clockcheck examples
+.PHONY: check build vet test race bench bench-smoke fuzz-smoke clockcheck chaos chaos-smoke examples
 
 check: vet build race clockcheck bench-smoke ## everything CI's check job runs
 
@@ -28,6 +28,12 @@ fuzz-smoke: ## 10s per fuzz target, seeded from testdata corpora
 
 clockcheck: ## sim tests with the runtime clock-ownership assertion
 	$(GO) test -tags clockcheck ./internal/sim/
+
+chaos: ## 20-seed chaos soak (fail-slow + fail-stop, oracle-checked)
+	$(GO) run ./cmd/icash-bench -chaos
+
+chaos-smoke: ## fixed-seed chaos battery under the race detector
+	$(GO) test -race -count=1 -run 'TestChaos|TestDetector|TestSchedule' ./internal/fault/...
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -9,6 +9,8 @@
 //	icash-bench -run fig6a -scale 0.02   # bigger run (default 1/256)
 //	icash-bench -run fig15 -qd 8 -vms    # overlapping I/O, per-VM streams
 //	icash-bench -qdsweep                 # RAID0 queue-depth scaling table
+//	icash-bench -chaos                   # 20-seed chaos soak at QD=8
+//	icash-bench -chaos -seeds 5 -chaosops 5000
 //
 // Each experiment prints measured values next to the paper's reported
 // values; the reproduction criterion is the shape (who wins, by roughly
@@ -22,9 +24,53 @@ import (
 	"os"
 	"strings"
 
+	"icash/internal/fault/chaos"
 	"icash/internal/harness"
+	"icash/internal/metrics"
 	"icash/internal/workload"
 )
+
+// runChaos drives n consecutive chaos-soak seeds and prints one result
+// line per seed plus an aggregate tail-latency summary. Any seed that
+// fails verification (invariant breakage or silent data loss) fails the
+// whole run after all seeds have reported.
+func runChaos(base uint64, n, ops, qd int) error {
+	var (
+		readAll  metrics.Histogram
+		writeAll metrics.Histogram
+		failed   []uint64
+		hedges   int64
+		wins     int64
+		flips    int64
+	)
+	if qd <= 0 {
+		qd = 8
+	}
+	fmt.Printf("chaos soak: %d seeds from %d, %d ops/seed, QD=%d\n", n, base, ops, qd)
+	for i := 0; i < n; i++ {
+		cfg := chaos.Config{Seed: base + uint64(i), Ops: ops, QueueDepth: qd}
+		res, err := chaos.Run(cfg)
+		if err != nil {
+			failed = append(failed, cfg.Seed)
+			fmt.Printf("  FAIL %v\n", err)
+			continue
+		}
+		fmt.Printf("  %s\n", res)
+		readAll.Merge(&res.ReadHist)
+		writeAll.Merge(&res.WriteHist)
+		hedges += res.Stats.HedgedReads
+		wins += res.Stats.HedgeWins
+		flips += res.Stats.QuarantineEvents
+	}
+	fmt.Printf("aggregate reads  %s\n", readAll.String())
+	fmt.Printf("aggregate writes %s\n", writeAll.String())
+	fmt.Printf("hedges %d (wins %d), quarantine flips %d\n", hedges, wins, flips)
+	if failed != nil {
+		return fmt.Errorf("chaos: %d of %d seeds failed: %v", len(failed), n, failed)
+	}
+	fmt.Printf("all %d seeds clean: invariants held, zero silent data loss\n", n)
+	return nil
+}
 
 func main() {
 	var (
@@ -35,8 +81,29 @@ func main() {
 		qd      = flag.Int("qd", 1, "outstanding requests per stream (1 = classic serial issue)")
 		vms     = flag.Bool("vms", false, "run multi-VM benchmarks as interleaved per-VM streams")
 		qdsweep = flag.Bool("qdsweep", false, "print the RAID0 random-read queue-depth scaling table and exit")
+
+		chaos    = flag.Bool("chaos", false, "run the deterministic chaos soak (fail-slow + fail-stop schedules, oracle-checked)")
+		seeds    = flag.Int("seeds", 20, "chaos: number of consecutive seeds, starting at -seed")
+		chaosops = flag.Int("chaosops", 2000, "chaos: measured operations per seed")
 	)
 	flag.Parse()
+
+	if *chaos {
+		// The shared -qd flag defaults to 1 for the classic experiments;
+		// the chaos soak's own default is QD=8, so only an explicit -qd
+		// overrides it.
+		chaosQD := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "qd" {
+				chaosQD = *qd
+			}
+		})
+		if err := runChaos(*seed, *seeds, *chaosops, chaosQD); err != nil {
+			fmt.Fprintf(os.Stderr, "icash-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *qdsweep {
 		opts := workload.Options{Seed: *seed}

@@ -47,8 +47,10 @@ func main() {
 	st := res.ICASHStats
 
 	fmt.Printf("I-CASH on %s (scale %.4g, %d ops)\n", p.Name, *scale, res.Ops)
-	fmt.Printf("elapsed %v — %.1f tx/s, reads avg %v, writes avg %v\n\n",
+	fmt.Printf("elapsed %v — %.1f tx/s, reads avg %v, writes avg %v\n",
 		res.Elapsed, res.TxnPerSec, res.ReadLat.Mean(), res.WriteLat.Mean())
+	fmt.Printf("read latency  %s\n", res.ReadHist.String())
+	fmt.Printf("write latency %s\n\n", res.WriteHist.String())
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	kinds := res.KindCounts

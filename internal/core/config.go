@@ -95,6 +95,22 @@ type Config struct {
 	// first retry of a transient error; it doubles on each further
 	// attempt. Zero derives the default (500 µs).
 	RetryBackoff sim.Duration
+
+	// HedgeDeadline is the per-read deadline on SSD reference fetches:
+	// when a foreground slot read's device service time exceeds it, the
+	// controller issues a hedge read against the slot's CRC-verified HDD
+	// home backup and serves whichever copy completes first — the slow
+	// request is cancelled, not waited out. A healthy SSD read is tens
+	// of microseconds, so the default (2 ms) only fires under fail-slow
+	// conditions (GC stalls, brownout, freeze). Zero derives the
+	// default; negative disables hedging and quarantine bypass.
+	HedgeDeadline sim.Duration
+	// OpDeadline bounds the total time (attempts plus backoff) one
+	// device operation may accumulate in the retry loop before the
+	// controller gives up instead of backing off again. Zero derives
+	// the default (50 ms — above any healthy retry sequence); negative
+	// disables the bound.
+	OpDeadline sim.Duration
 }
 
 // NewDefaultConfig returns the prototype constants from the paper for a
@@ -173,6 +189,12 @@ func (c *Config) validate() error {
 	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 500 * sim.Microsecond
+	}
+	if c.HedgeDeadline == 0 {
+		c.HedgeDeadline = 2 * sim.Millisecond
+	}
+	if c.OpDeadline == 0 {
+		c.OpDeadline = 50 * sim.Millisecond
 	}
 	return nil
 }

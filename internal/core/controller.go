@@ -63,6 +63,22 @@ type Controller struct {
 	// every request bypasses it (see degradeSSD).
 	ssdLost bool
 
+	// ssdQuarantined marks soft quarantine of a fail-slow SSD: reads
+	// prefer the HDD home backup and writes skip similarity detection
+	// and write-through, but no state is salvaged — clearing the flag
+	// re-admits the device intact (see SetSSDQuarantined).
+	ssdQuarantined bool
+	// quarantineReads counts slot reads arriving while quarantined;
+	// every canaryInterval-th one probes the SSD so the detector keeps
+	// receiving samples and can eventually re-admit the device.
+	quarantineReads int64
+
+	// lastAttemptDur is the device service time of the most recent
+	// single attempt inside withRetry, excluding backoff and earlier
+	// failed attempts — the hedging decision keys on this so a
+	// transient-retry detour does not masquerade as a slow device.
+	lastAttemptDur sim.Duration
+
 	// badLogBlocks marks HDD log blocks retired after write failures;
 	// the flush frontier skips them.
 	badLogBlocks map[int64]bool

@@ -169,6 +169,8 @@ func (c *Controller) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
 	c.cpu.ChargeStorage(c.costs.PerRequest)
 	if c.ssdLost {
 		c.Stats.DegradedOps++
+	} else if c.ssdQuarantined {
+		c.Stats.QuarantinedOps++
 	}
 
 	v, lat, err := c.getOrLoad(lba, false)
@@ -234,6 +236,8 @@ func (c *Controller) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
 	c.cpu.ChargeStorage(c.costs.PerRequest)
 	if c.ssdLost {
 		c.Stats.DegradedOps++
+	} else if c.ssdQuarantined {
+		c.Stats.QuarantinedOps++
 	}
 
 	v, _, err := c.getOrLoad(lba, true)
@@ -312,9 +316,10 @@ func (c *Controller) writeAttached(v *vblock, buf []byte, newSig sig.Signature) 
 // RAM data block.
 func (c *Controller) writeIndependent(v *vblock, buf []byte, newSig sig.Signature) (sim.Duration, error) {
 	v.sigv = newSig // independents re-sign on every write (paper §4.3)
-	if c.ssdLost {
-		// HDD-only degraded mode: no similarity detection, no
-		// write-through — plain RAM + home semantics.
+	if c.ssdSidelined() {
+		// HDD-only degraded mode, or a fail-slow SSD under quarantine:
+		// no similarity detection, no write-through — plain RAM + home
+		// semantics keep new traffic off the sidelined device.
 		v.kind = Independent
 		v.hddHome = false
 		if err := c.cacheData(v, buf, true); err != nil {
@@ -372,7 +377,7 @@ func (c *Controller) writeIndependent(v *vblock, buf []byte, newSig sig.Signatur
 // reference + tiny delta without waiting for popularity to accumulate.
 func (c *Controller) tryFirstLoadPair(v *vblock) {
 	key := c.offsetKey(v.lba)
-	if key < 0 || v.dataRAM == nil || c.ssdLost {
+	if key < 0 || v.dataRAM == nil || c.ssdSidelined() {
 		return
 	}
 	const maxCandidates = 3

@@ -567,8 +567,9 @@ func (c *Controller) loadDeltaBlock(b int64) (sim.Duration, error) {
 
 // Flush establishes a full consistency point: dirty independent data
 // blocks are written back to their home locations, then all pending
-// deltas and control records are committed to the log. After Flush, a
-// crash loses nothing.
+// deltas and control records are committed to the log, and finally
+// write-through slots gain home backups. After Flush, a crash loses
+// nothing.
 func (c *Controller) Flush() error {
 	for v := c.lru.head; v != nil; v = v.next {
 		if v.dataDirty && v.dataRAM != nil {
@@ -577,5 +578,41 @@ func (c *Controller) Flush() error {
 			}
 		}
 	}
-	return c.flushDeltas()
+	if err := c.flushDeltas(); err != nil {
+		return err
+	}
+	return c.backupWriteThroughs()
+}
+
+// backupWriteThroughs writes the content of every backup-less
+// write-through slot to its donor's home location and records the
+// backup on the slot. A write-through slot is born without a home
+// backup (the home copy is stale the moment the write lands on flash);
+// until the next Flush it is the one kind of slot that a scrub cannot
+// repair and a hedged read cannot rescue. This pass closes that window
+// at every consistency point, at the cost of one background HDD write
+// per new write-through. An unwritable home is skipped — the slot just
+// stays backup-less until a later Flush.
+func (c *Controller) backupWriteThroughs() error {
+	for _, s := range c.liveSlots() {
+		if s.homeLBA >= 0 || s.donor < 0 {
+			continue
+		}
+		v, ok := c.blocks[s.donor]
+		if !ok || v.slotRef != s || !v.ssdCurrent {
+			continue
+		}
+		content, _, err := c.slotContent(s, true)
+		if err != nil {
+			if blockdev.Classify(err) == blockdev.ClassDeviceLost {
+				return err
+			}
+			continue // unreadable slot: scrub handles it on the read path
+		}
+		if err := c.writeHome(v, content); err == nil {
+			s.homeLBA = v.lba
+			s.crc = contentCRC(content)
+		}
+	}
+	return nil
 }

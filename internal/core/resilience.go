@@ -24,19 +24,29 @@ import (
 var errSSDOp = errors.New("core: ssd operation failed")
 
 // withRetry runs op, retrying transient device errors up to
-// cfg.MaxRetries times with doubling simulated backoff. The returned
-// duration includes every attempt plus the backoff waits; the returned
-// error is the last attempt's error (nil on success).
+// cfg.MaxRetries times with doubling simulated backoff, bounded by the
+// per-operation deadline: once the accumulated time (attempts plus the
+// next backoff) would cross cfg.OpDeadline, the loop gives up instead
+// of backing off again — a fail-slow device must not pin a request
+// indefinitely. The returned duration includes every attempt plus the
+// backoff waits; the returned error is the last attempt's error (nil
+// on success). The final attempt's own service time is also kept in
+// c.lastAttemptDur for the hedging decision.
 func (c *Controller) withRetry(op func() (sim.Duration, error)) (sim.Duration, error) {
 	var total sim.Duration
 	backoff := c.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
 		d, err := op()
 		total += d
+		c.lastAttemptDur = d
 		if err == nil {
 			return total, nil
 		}
 		if blockdev.Classify(err) != blockdev.ClassTransient || attempt >= c.cfg.MaxRetries {
+			return total, err
+		}
+		if c.cfg.OpDeadline > 0 && total+backoff > c.cfg.OpDeadline {
+			c.Stats.DeadlineGiveUps++
 			return total, err
 		}
 		c.Stats.TransientRetries++
@@ -314,6 +324,7 @@ func (c *Controller) degradeSSD() {
 		return
 	}
 	c.ssdLost = true
+	c.ssdQuarantined = false // loss supersedes soft quarantine
 	c.Stats.DegradeEvents++
 	var attached []*vblock
 	for v := c.lru.head; v != nil; v = v.next {
@@ -341,6 +352,63 @@ func (c *Controller) degradeSSD() {
 		dbg(-2, "degrade flush failed: %v", err)
 	}
 }
+
+// hedgeBackup tries to serve slot content from the slot's CRC-verified
+// HDD home backup instead of the (slow) SSD. Returns the content, the
+// HDD service time, and whether the backup validated. installReference
+// writes the backup precisely so this alternative exists; the CRC
+// detects a backup later overwritten by an eviction. Write-through
+// slots (homeLBA < 0) have no backup and cannot hedge.
+func (c *Controller) hedgeBackup(s *refSlot) ([]byte, sim.Duration, bool) {
+	if s.homeLBA < 0 {
+		return nil, 0, false
+	}
+	buf := make([]byte, blockdev.BlockSize)
+	d, err := c.hddRead(s.homeLBA, buf)
+	if err != nil || contentCRC(buf) != s.crc {
+		if err == nil {
+			// The probe cost real HDD time but served nothing; charge it
+			// as background work (a cancelled hedge in flight).
+			c.Stats.BackgroundHDDTime += d
+		}
+		return nil, 0, false
+	}
+	return buf, d, true
+}
+
+// SetSSDQuarantined flips the soft quarantine of a fail-slow SSD. Under
+// quarantine, foreground slot reads bypass the SSD via the home backup,
+// and the write path stops feeding it (no similarity detection, no
+// write-through, no reference installs) — the same code points HDD-only
+// degraded mode gates, but reversible: nothing is salvaged or detached,
+// so clearing the flag re-admits the device with its state intact. The
+// slow-device detector drives this; operators and tests may too.
+func (c *Controller) SetSSDQuarantined(q bool) {
+	if q == c.ssdQuarantined || c.ssdLost {
+		return
+	}
+	c.ssdQuarantined = q
+	if q {
+		c.Stats.QuarantineEvents++
+		c.quarantineReads = 0 // canary cadence restarts per episode
+	} else {
+		c.Stats.ReadmitEvents++
+	}
+}
+
+// canaryInterval: one quarantined slot read in every canaryInterval
+// probes the SSD instead of the backup. Frequent enough that the
+// detector's eighth-window clear threshold is reachable on canary
+// traffic spread across the SSD channels, rare enough that a sick
+// device stays mostly idle.
+const canaryInterval = 3
+
+// SSDQuarantined reports whether the SSD is currently quarantined.
+func (c *Controller) SSDQuarantined() bool { return c.ssdQuarantined }
+
+// ssdSidelined reports whether the SSD should be avoided on new work:
+// lost for good, or quarantined as fail-slow.
+func (c *Controller) ssdSidelined() bool { return c.ssdLost || c.ssdQuarantined }
 
 // Degraded reports whether the controller is running in HDD-only
 // passthrough mode after SSD loss.

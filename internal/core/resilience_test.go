@@ -281,3 +281,150 @@ func TestDeterministicFaultReplay(t *testing.T) {
 		t.Error("transient faults never exercised the retry path")
 	}
 }
+
+// TestHedgedReadCutsSlowSSD arms a fail-slow window on the SSD and
+// checks the hedging path end to end: foreground reference reads that
+// blow the hedge deadline issue a hedge against the CRC-validated HDD
+// home backup, winning hedges bound the request at deadline + HDD time,
+// and every byte served stays correct.
+func TestHedgedReadCutsSlowSSD(t *testing.T) {
+	cfg := smallConfig()
+	clock := sim.NewClock()
+	cpu := cpumodel.NewAccountant(clock)
+	ssd := blockdev.NewMemDevice(cfg.SSDBlocks, 10*sim.Microsecond)
+	hdd := blockdev.NewMemDevice(cfg.VirtualBlocks+cfg.LogBlocks, 100*sim.Microsecond)
+	plan := &fault.Schedule{Seed: 1}
+	ssdF := fault.Wrap(ssd, fault.Config{Seed: 1, Plan: plan, Clock: clock, Station: "ssd"})
+	c, err := New(cfg, ssdF, hdd, clock, cpu)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	// Content-local workload: the scan installs references (each backed
+	// up at its donor's home) and attaches associates.
+	r := sim.NewRand(42)
+	model := make(map[int64][]byte)
+	for op := 0; op < 2000; op++ {
+		lba := int64(r.Intn(512))
+		content := genContent(r, int(lba%4), 0.03)
+		if _, err := c.WriteBlock(lba, content); err != nil {
+			t.Fatalf("op %d: write: %v", op, err)
+		}
+		model[lba] = content
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	// The plan is late-bound: appending a window now takes effect on the
+	// next shaped operation. 1000x turns the 10 us SSD into 10 ms — far
+	// past the 2 ms hedge deadline — while the HDD stays healthy.
+	plan.Windows = append(plan.Windows, fault.Window{
+		Station: "ssd",
+		From:    clock.Now(),
+		To:      clock.Now().Add(sim.Duration(10) * sim.Second),
+		Factor:  1000,
+	})
+
+	buf := make([]byte, blockdev.BlockSize)
+	for lba := int64(0); lba < 512; lba++ {
+		if _, err := c.ReadBlock(lba, buf); err != nil {
+			t.Fatalf("read lba %d: %v", lba, err)
+		}
+		want, ok := model[lba]
+		if !ok {
+			want = make([]byte, blockdev.BlockSize)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("read lba %d: wrong content under fail-slow window", lba)
+		}
+	}
+
+	st := c.Stats
+	if st.DeadlineExceeded == 0 {
+		t.Fatal("no foreground slot read ever blew the hedge deadline")
+	}
+	if st.HedgedReads == 0 || st.HedgeWins == 0 {
+		t.Fatalf("hedges issued/won = %d/%d, want both > 0", st.HedgedReads, st.HedgeWins)
+	}
+	if st.HedgeSavedTime <= 0 {
+		t.Fatalf("HedgeSavedTime = %v, want > 0", st.HedgeSavedTime)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+// TestQuarantineBypassAndCanary: with the SSD quarantined, slot reads
+// are served from home backups (QuarantineSkips), a deterministic
+// fraction still reaches the SSD as canary probes (the detector needs
+// samples to re-admit), and lifting the quarantine counts a re-admit.
+func TestQuarantineBypassAndCanary(t *testing.T) {
+	cfg := smallConfig()
+	rig := newFaultRig(t, cfg, fault.Config{Seed: 5}, fault.Config{Seed: 6})
+	c := rig.c
+	r := sim.NewRand(42)
+	model := make(map[int64][]byte)
+	buf := make([]byte, blockdev.BlockSize)
+	for op := 0; op < 2000; op++ {
+		lba := int64(r.Intn(512))
+		content := genContent(r, int(lba%4), 0.03)
+		if _, err := c.WriteBlock(lba, content); err != nil {
+			t.Fatalf("op %d: write: %v", op, err)
+		}
+		model[lba] = content
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	c.SetSSDQuarantined(true)
+	if !c.SSDQuarantined() || c.Stats.QuarantineEvents != 1 {
+		t.Fatalf("quarantine entry not recorded: %+v", c.Stats)
+	}
+	ssdReadsBefore := rig.ssdF.Stats.Reads
+	for lba := int64(0); lba < 512; lba++ {
+		if _, err := c.ReadBlock(lba, buf); err != nil {
+			t.Fatalf("quarantined read lba %d: %v", lba, err)
+		}
+		if want := model[lba]; want != nil && !bytes.Equal(buf, want) {
+			t.Fatalf("quarantined read lba %d: wrong content", lba)
+		}
+	}
+	if c.Stats.QuarantineSkips == 0 {
+		t.Fatal("quarantine never bypassed the SSD")
+	}
+	if c.Stats.QuarantinedOps == 0 {
+		t.Fatal("QuarantinedOps not counted")
+	}
+	if canaries := rig.ssdF.Stats.Reads - ssdReadsBefore; canaries == 0 {
+		t.Fatal("no canary probe reached the quarantined SSD")
+	}
+
+	c.SetSSDQuarantined(false)
+	if c.SSDQuarantined() || c.Stats.ReadmitEvents != 1 {
+		t.Fatalf("re-admission not recorded: %+v", c.Stats)
+	}
+}
+
+// TestRetryDeadlineGiveUp: a device stuck returning transient timeouts
+// must not be retried past the per-operation deadline — the retry loop
+// gives up loudly and counts it.
+func TestRetryDeadlineGiveUp(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxRetries = 100
+	cfg.OpDeadline = 2 * sim.Millisecond
+	rig := newFaultRig(t, cfg,
+		fault.Config{Seed: 9},
+		fault.Config{Seed: 10, Rates: fault.Rates{Transient: 1}})
+	buf := make([]byte, blockdev.BlockSize)
+	if _, err := rig.c.ReadBlock(0, buf); err == nil {
+		t.Fatal("read through an always-transient HDD succeeded")
+	}
+	if rig.c.Stats.DeadlineGiveUps == 0 {
+		t.Fatal("retry loop never gave up at the op deadline")
+	}
+	if err := rig.c.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after give-up: %v", err)
+	}
+}

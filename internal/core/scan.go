@@ -17,8 +17,10 @@ import (
 // association between reference and delta blocks is reorganized at the
 // end of each scanning phase.
 func (c *Controller) scan() error {
-	if c.ssdLost {
-		return nil // HDD-only degraded mode: nowhere to install references
+	if c.ssdSidelined() {
+		// HDD-only degraded mode (nowhere to install references), or a
+		// quarantined fail-slow SSD (keep reorganization traffic off it).
+		return nil
 	}
 	c.Stats.Scans++
 

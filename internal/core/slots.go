@@ -161,10 +161,40 @@ func (c *Controller) promoteDonor(s *refSlot) {
 // as the slot content while the donor is pristine; otherwise the SSD is
 // read. When background is true the device time is charged to
 // background stats and the returned latency is zero.
+//
+// This is also where fail-slow defenses live (paper §3.3's redundancy,
+// exploited for latency instead of durability):
+//
+//   - a quarantined SSD is bypassed outright: the slot's CRC-verified
+//     HDD home backup serves the read and the sick device sees no
+//     traffic at all;
+//   - a foreground SSD read whose device service time blows the hedge
+//     deadline races a hedge read against the home backup, and the
+//     request completes at min(ssd, deadline + hdd) — the slow read is
+//     cancelled, not waited out.
 func (c *Controller) slotContent(s *refSlot, background bool) ([]byte, sim.Duration, error) {
 	if s.donor >= 0 {
 		if donor, ok := c.blocks[s.donor]; ok && donor.slotRef == s && donor.ssdCurrent && donor.dataRAM != nil {
 			return donor.dataRAM, ram.AccessLatency, nil
+		}
+	}
+	if c.ssdQuarantined {
+		// Every canaryInterval-th quarantined read falls through to the
+		// SSD as a canary probe: the detector only re-admits a station
+		// after a run of clean samples, and a fully bypassed device
+		// would never produce any. The hedge below bounds the probe's
+		// latency, so a still-sick device costs one deadline, not one
+		// full slowdown.
+		c.quarantineReads++
+		if c.quarantineReads%canaryInterval != 0 {
+			if alt, altD, ok := c.hedgeBackup(s); ok {
+				c.Stats.QuarantineSkips++
+				if background {
+					c.Stats.BackgroundHDDTime += altD
+					altD = 0
+				}
+				return alt, altD, nil
+			}
 		}
 	}
 	buf := make([]byte, blockdev.BlockSize)
@@ -186,6 +216,26 @@ func (c *Controller) slotContent(s *refSlot, background bool) ([]byte, sim.Durat
 	if background {
 		c.Stats.BackgroundSSDTime += d
 		return buf, 0, nil
+	}
+	// Hedged read: the deadline check keys on the last single attempt's
+	// device time (not the retry-loop total), so only a genuinely slow
+	// device — not a transient-retry detour — triggers the hedge.
+	if dl := c.cfg.HedgeDeadline; dl > 0 && err == nil && c.lastAttemptDur > dl {
+		c.Stats.DeadlineExceeded++
+		if alt, altD, ok := c.hedgeBackup(s); ok {
+			c.Stats.HedgedReads++
+			if hedged := dl + altD; hedged < d {
+				// The hedge won: the SSD read is cancelled at the deadline
+				// and the backup's bytes serve the request.
+				c.Stats.HedgeWins++
+				c.Stats.HedgeSavedTime += d - hedged
+				return alt, hedged, nil
+			}
+			// The SSD completed first after all; the hedge is discarded
+			// and its wasted HDD time becomes background work.
+			c.Stats.HedgeCancels++
+			c.Stats.BackgroundHDDTime += altD
+		}
 	}
 	return buf, d, nil
 }

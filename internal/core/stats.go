@@ -77,6 +77,20 @@ type Stats struct {
 	DegradeEvents    int64 // transitions into HDD-only degraded mode
 	DegradedDataLoss int64 // blocks whose newest content died with the SSD
 	DegradedOps      int64 // requests served in HDD-only degraded mode
+
+	// Fail-slow handling: per-read deadlines, hedged reads against the
+	// HDD home backup, and detector-driven SSD quarantine (see
+	// resilience.go and slots.go).
+	DeadlineExceeded int64        // foreground slot reads over the hedge deadline
+	HedgedReads      int64        // hedge reads issued to the HDD home backup
+	HedgeWins        int64        // hedges that beat the slow SSD read
+	HedgeCancels     int64        // hedges the SSD still beat (hedge discarded)
+	HedgeSavedTime   sim.Duration // request latency removed by winning hedges
+	DeadlineGiveUps  int64        // retry loops abandoned at the op deadline
+	QuarantineEvents int64        // transitions into SSD quarantine
+	ReadmitEvents    int64        // quarantine lifts (device re-admitted)
+	QuarantinedOps   int64        // requests served while the SSD was quarantined
+	QuarantineSkips  int64        // SSD reads bypassed outright during quarantine
 }
 
 // KindCounts is a snapshot of the virtual-block population by kind,

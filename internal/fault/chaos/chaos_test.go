@@ -1,0 +1,185 @@
+package chaos
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"icash/internal/fault"
+	"icash/internal/sim"
+)
+
+// TestChaosSoak is the acceptance soak: 20 seeds of combined
+// fail-slow + fail-stop schedules at QD=8, each required to finish
+// with clean invariants and every wrong read covered by the
+// controller's own loss accounting (Run returns an error otherwise).
+func TestChaosSoak(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		res, err := Run(Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Ops != 2000 {
+			t.Fatalf("seed %d: ran %d ops, want 2000", seed, res.Ops)
+		}
+		t.Logf("%s", res)
+	}
+}
+
+// TestChaosPureFailSlow soaks seeds with error injection off: every
+// fault is a slowdown, so nothing may go wrong at all — no op errors,
+// no wrong reads — no matter how hard the devices are throttled.
+func TestChaosPureFailSlow(t *testing.T) {
+	for seed := uint64(100); seed < 110; seed++ {
+		res, err := Run(Config{Seed: seed, NoFailStop: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.WrongReads != 0 {
+			t.Fatalf("seed %d: %d wrong reads under pure fail-slow", seed, res.WrongReads)
+		}
+		if res.OpErrors != 0 {
+			t.Fatalf("seed %d: %d op errors under pure fail-slow", seed, res.OpErrors)
+		}
+	}
+}
+
+// TestChaosDeterminismAcrossGOMAXPROCS reruns the same seeds under
+// different GOMAXPROCS settings and requires byte-identical Results —
+// the soak must be a simulation, not a race.
+func TestChaosDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	seeds := []uint64{3, 7, 11}
+	baseline := make(map[uint64]*Result)
+	for _, procs := range []int{1, runtime.NumCPU(), 2} {
+		runtime.GOMAXPROCS(procs)
+		for _, seed := range seeds {
+			res, err := Run(Config{Seed: seed, Ops: 800})
+			if err != nil {
+				t.Fatalf("seed %d (GOMAXPROCS=%d): %v", seed, procs, err)
+			}
+			if base, ok := baseline[seed]; !ok {
+				baseline[seed] = res
+			} else if !reflect.DeepEqual(base, res) {
+				t.Fatalf("seed %d (GOMAXPROCS=%d): result differs:\n got %+v\nwant %+v",
+					seed, procs, res, base)
+			}
+		}
+	}
+}
+
+// slowSSDPlan is the acceptance scenario: one long window multiplying
+// every SSD channel's service time by 100 across most of the measured
+// phase. Offsets are relative to the measured phase (Run shifts them).
+func slowSSDPlan() *fault.Schedule {
+	return &fault.Schedule{
+		Windows: []fault.Window{{
+			Station: "ssd",
+			From:    sim.Time(0),
+			To:      sim.Time(10 * sim.Second),
+			Factor:  100,
+		}},
+	}
+}
+
+// TestChaosHedgingTailWin is the headline acceptance test: under a
+// 100x SSD slowdown, the fail-slow machinery (hedged reads plus
+// detector-driven quarantine) must cut read p99 by at least 2x versus
+// the same run with hedging disabled.
+func TestChaosHedgingTailWin(t *testing.T) {
+	cfg := Config{Seed: 42, Ops: 3000, NoFailStop: true, Plan: slowSSDPlan()}
+
+	hedged, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("hedged run: %v", err)
+	}
+	cfg.DisableHedge = true
+	bare, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("unhedged run: %v", err)
+	}
+
+	hp99, bp99 := hedged.ReadHist.P99(), bare.ReadHist.P99()
+	t.Logf("read p99: hedged=%v unhedged=%v (p50 %v vs %v; hedges=%d wins=%d quarantine=%d skips=%d)",
+		hp99, bp99, hedged.ReadHist.P50(), bare.ReadHist.P50(),
+		hedged.Stats.HedgedReads, hedged.Stats.HedgeWins,
+		hedged.Stats.QuarantineEvents, hedged.Stats.QuarantineSkips)
+	if hedged.Stats.HedgedReads == 0 && hedged.Stats.QuarantineSkips == 0 {
+		t.Fatalf("fail-slow machinery never engaged (hedges=0, quarantine skips=0)")
+	}
+	if bp99 < 2*hp99 {
+		t.Fatalf("tail win too small: unhedged p99 %v < 2x hedged p99 %v", bp99, hp99)
+	}
+}
+
+// TestChaosHedgeEngagement pins the hedged-read path itself. At the
+// default LBASpace the SSD's internal DRAM read cache covers every
+// reference slot, so slot reads stay under the hedge deadline even at
+// 100x and the tail win comes from quarantine alone. Doubling the LBA
+// space pushes the slot population past the device cache: slot reads
+// miss to flash, blow their deadline under the slowdown, and the
+// controller must race the HDD home copy against the slow SSD.
+func TestChaosHedgeEngagement(t *testing.T) {
+	res, err := Run(Config{Seed: 42, Ops: 3000, LBASpace: 1024,
+		NoFailStop: true, Plan: slowSSDPlan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("hedges=%d wins=%d cancels=%d deadline=%d saved=%v",
+		res.Stats.HedgedReads, res.Stats.HedgeWins, res.Stats.HedgeCancels,
+		res.Stats.DeadlineExceeded, res.Stats.HedgeSavedTime)
+	if res.Stats.DeadlineExceeded == 0 {
+		t.Fatal("no slot read ever exceeded the hedge deadline under a 100x slowdown")
+	}
+	if res.Stats.HedgedReads == 0 {
+		t.Fatal("hedged reads never fired")
+	}
+	if res.Stats.HedgeWins == 0 {
+		t.Fatal("no hedge ever beat the slow SSD read")
+	}
+}
+
+// TestChaosQuarantineReadmission closes the loop on the detector: a
+// fail-slow window that ends mid-run must first quarantine the SSD and
+// then — via the canary probes that keep feeding the detector while
+// the data path bypasses the device — re-admit it, ending the run with
+// the SSD back in service.
+func TestChaosQuarantineReadmission(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Ops: 4000, NoFailStop: true,
+		Plan: &fault.Schedule{Windows: []fault.Window{{
+			Station: "ssd", From: 0, To: sim.Time(sim.Second), Factor: 100,
+		}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("quarantines=%d readmits=%d skips=%d detector flags=%d clears=%d",
+		res.Stats.QuarantineEvents, res.Stats.ReadmitEvents,
+		res.Stats.QuarantineSkips, res.DetectorFlags, res.DetectorClears)
+	if res.Stats.QuarantineEvents == 0 {
+		t.Fatal("the 100x window never quarantined the SSD")
+	}
+	if res.Stats.ReadmitEvents == 0 {
+		t.Fatal("the SSD was never re-admitted after the window ended")
+	}
+	if res.Quarantined {
+		t.Fatal("run ended with the SSD still quarantined")
+	}
+	if res.DetectorClears == 0 {
+		t.Fatal("detector never cleared a station flag")
+	}
+}
+
+// TestChaosExplicitPlanShifts checks that a caller-supplied relative
+// plan is anchored at the measured phase: the windows must actually
+// inflate station time (SlowOps > 0) even though the populate phase
+// consumed simulated time before they were installed.
+func TestChaosExplicitPlanShifts(t *testing.T) {
+	res, err := Run(Config{Seed: 5, Ops: 600, NoFailStop: true, Plan: slowSSDPlan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlowOps == 0 {
+		t.Fatal("explicit plan window never fired (SlowOps = 0): window offsets not shifted onto the clock?")
+	}
+}

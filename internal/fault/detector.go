@@ -1,0 +1,170 @@
+package fault
+
+import (
+	"sort"
+
+	"icash/internal/sim"
+)
+
+// Detector is the fail-slow detector: it watches per-station service
+// times over a sliding window and flags a station as slow when the
+// windowed p95 crosses the station's threshold — equivalently, when
+// more than 5% of the window's samples exceed it. p95, not p99: a
+// healthy flash channel has rare but legitimate multi-millisecond
+// service spikes (a host write that triggers garbage collection pays
+// an erase plus relocations), and a p99 rule flags a healthy device
+// whenever two such spikes land in one window. A fail-slow episode
+// inflates *every* sample, so it clears 5% immediately; housekeeping
+// spikes at ~0.1% never do. A flagged station is
+// cleared (re-admitted) only after an eighth-window of consecutive
+// samples stays under the threshold: long enough that a device
+// browning in and out does not flap the quarantine on every good
+// request, short enough that re-admission works on canary traffic
+// alone (a quarantined device only sees sparse probe reads, spread
+// across its channels, so demanding a full window of them per channel
+// would strand the quarantine).
+//
+// Everything is O(1) per observation, allocation-free after Watch, and
+// fully deterministic: no wall-clock, no randomness.
+type Detector struct {
+	window   int
+	stations map[string]*stationWatch
+	order    []string // deterministic iteration for AnySlow / Snapshot
+}
+
+// stationWatch is one station's sliding window.
+type stationWatch struct {
+	threshold sim.Duration
+	ring      []sim.Duration
+	n         int // samples currently in the ring (<= len(ring))
+	idx       int // next write position
+	over      int // ring samples above threshold
+	cleanRun  int // consecutive under-threshold samples since the last spike
+
+	slow   bool
+	Flags  int64 // transitions into the slow state
+	Clears int64 // transitions back to healthy
+}
+
+// DefaultDetectorWindow is the per-station sample window: small enough
+// to react within ~a hundred requests, large enough that a p99 estimate
+// means something.
+const DefaultDetectorWindow = 128
+
+// NewDetector builds a detector with the given sliding-window size
+// (<= 0 uses DefaultDetectorWindow).
+func NewDetector(window int) *Detector {
+	if window <= 0 {
+		window = DefaultDetectorWindow
+	}
+	return &Detector{window: window, stations: make(map[string]*stationWatch)}
+}
+
+// Watch registers a station with its slow threshold: the service time a
+// healthy operation should practically never exceed — above the
+// station's routine service including its rare housekeeping spikes.
+func (d *Detector) Watch(station string, threshold sim.Duration) {
+	if _, ok := d.stations[station]; ok {
+		d.stations[station].threshold = threshold
+		return
+	}
+	d.stations[station] = &stationWatch{
+		threshold: threshold,
+		ring:      make([]sim.Duration, d.window),
+	}
+	d.order = append(d.order, station)
+	sort.Strings(d.order)
+}
+
+// Observe records one service-time sample for station. Unwatched
+// stations are ignored.
+func (d *Detector) Observe(station string, svc sim.Duration) {
+	w, ok := d.stations[station]
+	if !ok {
+		return
+	}
+	if w.n == len(w.ring) {
+		if w.ring[w.idx] > w.threshold {
+			w.over--
+		}
+	} else {
+		w.n++
+	}
+	w.ring[w.idx] = svc
+	w.idx = (w.idx + 1) % len(w.ring)
+	if svc > w.threshold {
+		w.over++
+		w.cleanRun = 0
+	} else {
+		w.cleanRun++
+	}
+	// A clear ends the episode: the ring is reset so the stale slow
+	// samples of the episode cannot immediately re-flag the station —
+	// the next flag needs a fresh full window of evidence.
+	if w.slow && w.cleanRun >= clearRun(len(w.ring)) {
+		w.slow = false
+		w.Clears++
+		w.n, w.idx, w.over, w.cleanRun = 0, 0, 0, 0
+		return
+	}
+	// Windowed p95 over threshold <=> more than 5% of window samples
+	// exceed it. Require a full window before flagging so a few early
+	// spikes in a short history do not quarantine a healthy device.
+	if !w.slow && w.n == len(w.ring) && w.over*20 > len(w.ring) {
+		w.slow = true
+		w.Flags++
+	}
+}
+
+// clearRun is the consecutive-clean-sample count that re-admits a
+// flagged station: an eighth of a window, floor 8.
+func clearRun(window int) int {
+	r := window / 8
+	if r < 8 {
+		r = 8
+	}
+	return r
+}
+
+// Slow reports whether station is currently flagged.
+func (d *Detector) Slow(station string) bool {
+	w, ok := d.stations[station]
+	return ok && w.slow
+}
+
+// AnySlow reports whether any watched station whose name equals prefix
+// or starts with prefix+"." is currently flagged. An empty prefix
+// checks every station.
+func (d *Detector) AnySlow(prefix string) bool {
+	for _, name := range d.order {
+		if prefix != "" && name != prefix && !hasDotPrefix(name, prefix) {
+			continue
+		}
+		if d.stations[name].slow {
+			return true
+		}
+	}
+	return false
+}
+
+// Events returns the flag/clear transition counts for station.
+func (d *Detector) Events(station string) (flags, clears int64) {
+	if w, ok := d.stations[station]; ok {
+		return w.Flags, w.Clears
+	}
+	return 0, 0
+}
+
+// TotalEvents sums flag/clear transitions across all stations.
+func (d *Detector) TotalEvents() (flags, clears int64) {
+	for _, name := range d.order {
+		w := d.stations[name]
+		flags += w.Flags
+		clears += w.Clears
+	}
+	return flags, clears
+}
+
+func hasDotPrefix(name, prefix string) bool {
+	return len(name) > len(prefix)+1 && name[:len(prefix)] == prefix && name[len(prefix)] == '.'
+}

@@ -1,0 +1,95 @@
+package fault
+
+import (
+	"testing"
+
+	"icash/internal/sim"
+)
+
+// TestDetectorFlagsAndClears walks a station through healthy traffic, a
+// fail-slow episode, and recovery: the flag must rise only after the
+// windowed p95 crosses the threshold and clear only after an
+// eighth-window of consecutive clean samples.
+func TestDetectorFlagsAndClears(t *testing.T) {
+	d := NewDetector(100)
+	d.Watch("ssd.ch0", 1*sim.Millisecond)
+
+	// Healthy warm-up: a full window under threshold.
+	for i := 0; i < 100; i++ {
+		d.Observe("ssd.ch0", 50*sim.Microsecond)
+	}
+	if d.Slow("ssd.ch0") {
+		t.Fatal("healthy station flagged")
+	}
+	// Five spikes are exactly 5% of the window: housekeeping noise,
+	// not over p95 yet.
+	for i := 0; i < 5; i++ {
+		d.Observe("ssd.ch0", 80*sim.Millisecond)
+	}
+	if d.Slow("ssd.ch0") {
+		t.Fatal("flagged at exactly 5% over")
+	}
+	// A sixth spike pushes the windowed p95 over the threshold.
+	d.Observe("ssd.ch0", 80*sim.Millisecond)
+	if !d.Slow("ssd.ch0") {
+		t.Fatal("station not flagged with >5% of window over threshold")
+	}
+	if f, c := d.Events("ssd.ch0"); f != 1 || c != 0 {
+		t.Fatalf("events = %d/%d, want 1/0", f, c)
+	}
+	// Recovery: the flag holds until an eighth window (12 of 100
+	// samples here) runs clean — sized for canary-only traffic.
+	for i := 0; i < 11; i++ {
+		d.Observe("ssd.ch0", 50*sim.Microsecond)
+	}
+	if !d.Slow("ssd.ch0") {
+		t.Fatal("flag cleared before an eighth clean window")
+	}
+	d.Observe("ssd.ch0", 50*sim.Microsecond)
+	if d.Slow("ssd.ch0") {
+		t.Fatal("flag not cleared after an eighth clean window")
+	}
+	if f, c := d.Events("ssd.ch0"); f != 1 || c != 1 {
+		t.Fatalf("events = %d/%d, want 1/1", f, c)
+	}
+}
+
+// TestDetectorNoFlagBeforeFullWindow: a spike in a short history must
+// not quarantine a device the detector barely knows.
+func TestDetectorNoFlagBeforeFullWindow(t *testing.T) {
+	d := NewDetector(128)
+	d.Watch("hdd0", 50*sim.Millisecond)
+	for i := 0; i < 20; i++ {
+		d.Observe("hdd0", 200*sim.Millisecond)
+	}
+	if d.Slow("hdd0") {
+		t.Fatal("flagged before the window filled")
+	}
+}
+
+// TestDetectorAnySlowPrefix: the dotted-prefix grouping that maps SSD
+// channels to one quarantine decision.
+func TestDetectorAnySlowPrefix(t *testing.T) {
+	d := NewDetector(4)
+	d.Watch("ssd.ch0", sim.Millisecond)
+	d.Watch("ssd.ch1", sim.Millisecond)
+	d.Watch("hdd0", sim.Millisecond)
+	for i := 0; i < 4; i++ {
+		d.Observe("ssd.ch1", 10*sim.Millisecond)
+		d.Observe("ssd.ch0", sim.Microsecond)
+		d.Observe("hdd0", sim.Microsecond)
+	}
+	if !d.Slow("ssd.ch1") {
+		t.Fatal("saturated channel not flagged")
+	}
+	if !d.AnySlow("ssd") || d.AnySlow("hdd0") || !d.AnySlow("") {
+		t.Error("AnySlow prefix grouping wrong")
+	}
+	d.Observe("unwatched", sim.Second) // must be ignored, not panic
+	if d.Slow("unwatched") {
+		t.Error("unwatched station reported slow")
+	}
+	if f, c := d.TotalEvents(); f != 1 || c != 0 {
+		t.Errorf("total events = %d/%d, want 1/0", f, c)
+	}
+}

@@ -58,6 +58,15 @@ type Config struct {
 	// ErrorLatency is the simulated service time of a media error
 	// (default 5 ms — the drive's internal retries before giving up).
 	ErrorLatency sim.Duration
+
+	// Plan, when non-nil, is the scheduled fail-slow plan: service
+	// times (successes and error latencies alike) are inflated by
+	// Plan.Inflate(Station, Clock.Now(), d). Requires Clock.
+	Plan *Schedule
+	// Clock supplies the simulated time the Plan's windows are keyed on.
+	Clock *sim.Clock
+	// Station names this device in the Plan's windows ("ssd", "hdd0").
+	Station string
 }
 
 // Stats counts injected faults and surviving traffic.
@@ -69,6 +78,10 @@ type Stats struct {
 	LostErrors      int64 // ErrDeviceLost returned
 	TornWrites      int64 // crash-point writes that applied partially
 	HealedBlocks    int64 // bad blocks cleared by a successful rewrite
+
+	// Fail-slow accounting (scheduled Plan windows).
+	SlowOps  int64        // operations whose service time was inflated
+	SlowTime sim.Duration // total extra service time injected
 }
 
 // Device wraps an inner device with fault injection. It implements
@@ -116,6 +129,21 @@ func Wrap(inner blockdev.Device, cfg Config) *Device {
 // Inner returns the wrapped device (recovery paths bypass the wrapper
 // to model a fresh power-on against intact media).
 func (d *Device) Inner() blockdev.Device { return d.inner }
+
+// shape applies the scheduled fail-slow plan to one operation's service
+// time. Error latencies are shaped too: a browning-out device is slow
+// to fail just as it is slow to succeed.
+func (d *Device) shape(dur sim.Duration) sim.Duration {
+	if d.cfg.Plan == nil || d.cfg.Clock == nil {
+		return dur
+	}
+	shaped := d.cfg.Plan.Inflate(d.cfg.Station, d.cfg.Clock.Now(), dur)
+	if shaped > dur {
+		d.Stats.SlowOps++
+		d.Stats.SlowTime += shaped - dur
+	}
+	return shaped
+}
 
 // Blocks returns the inner device capacity.
 func (d *Device) Blocks() int64 { return d.inner.Blocks() }
@@ -172,23 +200,24 @@ func (d *Device) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
 	}
 	if d.lost {
 		d.Stats.LostErrors++
-		return 0, fmt.Errorf("fault: read lba %d: %w", lba, blockdev.ErrDeviceLost)
+		return 0, injectErr("read", lba, blockdev.ErrDeviceLost)
 	}
 	if d.bad[lba] {
 		d.Stats.MediaErrors++
-		return d.cfg.ErrorLatency, fmt.Errorf("fault: read lba %d: %w", lba, blockdev.ErrMedia)
+		return d.shape(d.cfg.ErrorLatency), injectErr("read", lba, blockdev.ErrMedia)
 	}
 	if d.cfg.Rates.Transient > 0 && d.rng.Float64() < d.cfg.Rates.Transient {
 		d.Stats.TransientErrors++
-		return d.cfg.TimeoutLatency, fmt.Errorf("fault: read lba %d: %w", lba, blockdev.ErrTransient)
+		return d.shape(d.cfg.TimeoutLatency), injectErr("read", lba, blockdev.ErrTransient)
 	}
 	if d.cfg.Rates.ReadMedia > 0 && d.rng.Float64() < d.cfg.Rates.ReadMedia {
 		d.bad[lba] = true
 		d.Stats.MediaErrors++
-		return d.cfg.ErrorLatency, fmt.Errorf("fault: read lba %d: %w", lba, blockdev.ErrMedia)
+		return d.shape(d.cfg.ErrorLatency), injectErr("read", lba, blockdev.ErrMedia)
 	}
 	d.Stats.Reads++
-	return d.inner.ReadBlock(lba, buf)
+	dur, err := d.inner.ReadBlock(lba, buf)
+	return d.shape(dur), err
 }
 
 // WriteBlock injects write-path faults (including the armed crash
@@ -203,7 +232,7 @@ func (d *Device) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
 	}
 	if d.lost {
 		d.Stats.LostErrors++
-		return 0, fmt.Errorf("fault: write lba %d: %w", lba, blockdev.ErrDeviceLost)
+		return 0, injectErr("write", lba, blockdev.ErrDeviceLost)
 	}
 	d.writeSeen++
 	if d.TraceWrites {
@@ -214,12 +243,12 @@ func (d *Device) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
 	}
 	if d.cfg.Rates.Transient > 0 && d.rng.Float64() < d.cfg.Rates.Transient {
 		d.Stats.TransientErrors++
-		return d.cfg.TimeoutLatency, fmt.Errorf("fault: write lba %d: %w", lba, blockdev.ErrTransient)
+		return d.shape(d.cfg.TimeoutLatency), injectErr("write", lba, blockdev.ErrTransient)
 	}
 	if d.cfg.Rates.WriteMedia > 0 && d.rng.Float64() < d.cfg.Rates.WriteMedia {
 		d.bad[lba] = true
 		d.Stats.MediaErrors++
-		return d.cfg.ErrorLatency, fmt.Errorf("fault: write lba %d: %w", lba, blockdev.ErrMedia)
+		return d.shape(d.cfg.ErrorLatency), injectErr("write", lba, blockdev.ErrMedia)
 	}
 	dur, err := d.inner.WriteBlock(lba, buf)
 	if err == nil && d.bad[lba] {
@@ -227,7 +256,7 @@ func (d *Device) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
 		d.Stats.HealedBlocks++
 	}
 	d.Stats.Writes++
-	return dur, err
+	return d.shape(dur), err
 }
 
 // tearAndDie applies the armed torn write and fails the device: the
@@ -250,8 +279,9 @@ func (d *Device) tearAndDie(lba int64, buf []byte) error {
 			}
 		}
 	}
-	return fmt.Errorf("fault: write lba %d: power cut at crash point (%d bytes applied): %w",
-		lba, d.tornBytes, blockdev.ErrDeviceLost)
+	return &Error{Op: "write", LBA: lba, Class: blockdev.ClassDeviceLost,
+		Err: fmt.Errorf("power cut at crash point (%d bytes applied): %w",
+			d.tornBytes, blockdev.ErrDeviceLost)}
 }
 
 var _ blockdev.Device = (*Device)(nil)
@@ -280,3 +310,10 @@ var _ blockdev.Filler = (*Device)(nil)
 // ResetStats zeroes the fault accounting (bad blocks and the crash
 // schedule are preserved).
 func (d *Device) ResetStats() { d.Stats = Stats{} }
+
+// SetRates replaces the probabilistic fault rates. Harnesses use this
+// to keep a warm-up or populate phase genuinely fault-free and arm the
+// error injection only for the measured stream — faults before the
+// stats reset would leave damaged state whose loss accounting the
+// reset then erases.
+func (d *Device) SetRates(r Rates) { d.cfg.Rates = r }

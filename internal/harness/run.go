@@ -30,6 +30,11 @@ type Result struct {
 	// virtual-disk level).
 	ReadLat  metrics.LatencyRecorder
 	WriteLat metrics.LatencyRecorder
+	// ReadHist and WriteHist bucket the same samples for percentile
+	// reporting (p50/p95/p99/p999) — tail latency is the signal the
+	// fail-slow experiments care about, and means hide it.
+	ReadHist  metrics.Histogram
+	WriteHist metrics.Histogram
 
 	Elapsed   sim.Duration
 	TxnPerSec float64
@@ -175,10 +180,12 @@ func runSerial(sys *System, gen *workload.Generator) (*Result, error) {
 				pc.insert(lba)
 				res.Writes++
 				res.WriteLat.Record(d)
+				res.WriteHist.Record(d)
 				clock.Advance(d)
 			} else {
 				if pc.lookup(lba) {
 					res.ReadLat.Record(pageCacheHitLatency)
+					res.ReadHist.Record(pageCacheHitLatency)
 					clock.Advance(pageCacheHitLatency)
 					continue
 				}
@@ -189,6 +196,7 @@ func runSerial(sys *System, gen *workload.Generator) (*Result, error) {
 				pc.insert(lba)
 				res.Reads++
 				res.ReadLat.Record(d)
+				res.ReadHist.Record(d)
 				clock.Advance(d)
 			}
 		}

@@ -76,9 +76,27 @@ type BuildConfig struct {
 
 	// FaultSSD and FaultHDD, when non-nil, interpose deterministic
 	// fault injectors between the I-CASH controller and its devices
-	// (robustness experiments; ignored for the baseline systems).
+	// (robustness experiments; ignored for the baseline systems). Their
+	// Clock and default Station names are filled in by Build; a Plan on
+	// either config is additionally installed as a station shaper, so
+	// fail-slow windows inflate both the controller-visible latency and
+	// the station occupancy under QD>1.
 	FaultSSD *fault.Config
 	FaultHDD *fault.Config
+
+	// SlowDetector enables the fail-slow detector: station service
+	// times feed a windowed-p99 watch, and the concurrent runner
+	// quarantines / re-admits the I-CASH SSD as the flag flips.
+	SlowDetector bool
+	// SlowSSDThreshold and SlowHDDThreshold override the detector
+	// thresholds (zero keeps the defaults: 2 ms per SSD channel, 100 ms
+	// per HDD actuator). 2 ms sits well above a channel's routine
+	// service (tens of microseconds); the rare healthy ops beyond it —
+	// writes that trigger GC pay an erase plus relocations — stay under
+	// the detector's 5% flag fraction, while a fail-slow window pushes
+	// ordinary writes past it in bulk.
+	SlowSSDThreshold sim.Duration
+	SlowHDDThreshold sim.Duration
 }
 
 // System is one storage configuration under test: the device stack plus
@@ -109,6 +127,11 @@ type System struct {
 	// (QD=1) path never begins a trace, so the stations stay idle there.
 	Tracer   *event.Tracer
 	Stations []*event.Server
+
+	// Detector, when the build enabled it, watches station service
+	// times; the concurrent runner polls it between requests to drive
+	// SSD quarantine and re-admission on the I-CASH controller.
+	Detector *fault.Detector
 
 	flush func() error
 }
@@ -162,20 +185,54 @@ func (s *System) ResetStats() {
 
 // instrument builds one service station per independently serving unit
 // — each SSD channel, each HDD actuator — and connects the devices to
-// the shared tracer. Called once at the end of Build.
-func (s *System) instrument() {
+// the shared tracer. Called once at the end of Build. Fault plans from
+// the build config become station shapers (a fail-slow window inflates
+// station occupancy, not just the controller-visible latency), and the
+// optional slow-device detector observes every station's shaped
+// service times.
+func (s *System) instrument(cfg BuildConfig) {
 	s.Tracer = event.NewTracer()
+	var ssdPlan, hddPlan *fault.Schedule
+	if cfg.FaultSSD != nil {
+		ssdPlan = cfg.FaultSSD.Plan
+	}
+	if cfg.FaultHDD != nil {
+		hddPlan = cfg.FaultHDD.Plan
+	}
+	if cfg.SlowDetector {
+		s.Detector = fault.NewDetector(0)
+	}
+	watch := func(srv *event.Server, threshold sim.Duration) {
+		if s.Detector == nil {
+			return
+		}
+		name := srv.Name()
+		s.Detector.Watch(name, threshold)
+		srv.SetObserver(func(svc sim.Duration) { s.Detector.Observe(name, svc) })
+	}
+	ssdThreshold := cfg.SlowSSDThreshold
+	if ssdThreshold <= 0 {
+		ssdThreshold = 2 * sim.Millisecond
+	}
+	hddThreshold := cfg.SlowHDDThreshold
+	if hddThreshold <= 0 {
+		hddThreshold = 100 * sim.Millisecond
+	}
 	if s.SSD != nil {
 		n := s.SSD.Config().Channels
 		chans := make([]*event.Server, n)
 		for i := range chans {
 			chans[i] = event.NewServer(fmt.Sprintf("ssd.ch%d", i), event.DefaultQueueCap)
+			chans[i].SetShaper(ssdPlan.Shaper(chans[i].Name()))
+			watch(chans[i], ssdThreshold)
 			s.Stations = append(s.Stations, chans[i])
 		}
 		s.SSD.Instrument(s.Tracer, chans)
 	}
 	for i, h := range s.HDDs {
 		srv := event.NewServer(fmt.Sprintf("hdd%d", i), event.DefaultQueueCap)
+		srv.SetShaper(hddPlan.Shaper(srv.Name()))
+		watch(srv, hddThreshold)
 		s.Stations = append(s.Stations, srv)
 		h.Instrument(s.Tracer, srv)
 	}
@@ -304,11 +361,21 @@ func Build(kind Kind, cfg BuildConfig) (*System, error) {
 		}
 		var ssdDev, hddDev blockdev.Device = s.SSD, h
 		if cfg.FaultSSD != nil {
-			s.SSDFault = fault.Wrap(ssdDev, *cfg.FaultSSD)
+			fc := *cfg.FaultSSD
+			fc.Clock = clock
+			if fc.Station == "" {
+				fc.Station = "ssd"
+			}
+			s.SSDFault = fault.Wrap(ssdDev, fc)
 			ssdDev = s.SSDFault
 		}
 		if cfg.FaultHDD != nil {
-			s.HDDFault = fault.Wrap(hddDev, *cfg.FaultHDD)
+			fc := *cfg.FaultHDD
+			fc.Clock = clock
+			if fc.Station == "" {
+				fc.Station = "hdd0"
+			}
+			s.HDDFault = fault.Wrap(hddDev, fc)
 			hddDev = s.HDDFault
 		}
 		ctrl, err := core.New(ccfg, ssdDev, hddDev, clock, cpu)
@@ -322,8 +389,21 @@ func Build(kind Kind, cfg BuildConfig) (*System, error) {
 	default:
 		return nil, fmt.Errorf("harness: unknown system kind %d", kind)
 	}
-	s.instrument()
+	s.instrument(cfg)
 	return s, nil
+}
+
+// PollDetector drives SSD quarantine and re-admission on the I-CASH
+// controller from the slow-device detector's current verdict. The
+// concurrent runner calls it after every replayed block, so a flagged
+// station sidetracks the SSD within one request and a recovered one
+// re-admits it just as promptly. No-op when the build did not ask for
+// a detector or the system is not I-CASH.
+func (s *System) PollDetector() {
+	if s.Detector == nil || s.ICASH == nil {
+		return
+	}
+	s.ICASH.SetSSDQuarantined(s.Detector.AnySlow("ssd"))
 }
 
 // cachePartitionConfig builds the SSD device for a cache-sized

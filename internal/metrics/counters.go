@@ -36,6 +36,17 @@ func ResilienceCounters(st *core.Stats) []Counter {
 		{"degrade_events", st.DegradeEvents},
 		{"degraded_data_loss", st.DegradedDataLoss},
 		{"degraded_ops", st.DegradedOps},
+		// Fail-slow handling (appended: the order above is frozen).
+		{"deadline_exceeded", st.DeadlineExceeded},
+		{"hedged_reads", st.HedgedReads},
+		{"hedge_wins", st.HedgeWins},
+		{"hedge_cancels", st.HedgeCancels},
+		{"hedge_saved_ns", int64(st.HedgeSavedTime)},
+		{"deadline_give_ups", st.DeadlineGiveUps},
+		{"quarantine_events", st.QuarantineEvents},
+		{"readmit_events", st.ReadmitEvents},
+		{"quarantined_ops", st.QuarantinedOps},
+		{"quarantine_skips", st.QuarantineSkips},
 	}
 }
 
@@ -50,6 +61,8 @@ func FaultCounters(st *fault.Stats) []Counter {
 		{"lost_errors", st.LostErrors},
 		{"torn_writes", st.TornWrites},
 		{"healed_blocks", st.HealedBlocks},
+		{"slow_ops", st.SlowOps},
+		{"slow_time_ns", int64(st.SlowTime)},
 	}
 }
 

@@ -25,8 +25,9 @@ func TestResilienceCountersComplete(t *testing.T) {
 	if seen["transient_retries"] != 3 || seen["slot_scrubs"] != 5 || seen["degrade_events"] != 1 {
 		t.Fatalf("counter values not carried through: %v", seen)
 	}
-	// The order is part of the contract: retries first, degradation last.
-	if cs[0].Name != "transient_retries" || cs[len(cs)-1].Name != "degraded_ops" {
+	// The order is part of the contract: retries first, new counter
+	// groups appended at the end (fail-slow handling is the newest).
+	if cs[0].Name != "transient_retries" || cs[len(cs)-1].Name != "quarantine_skips" {
 		t.Fatalf("counter order changed: first %q last %q", cs[0].Name, cs[len(cs)-1].Name)
 	}
 }

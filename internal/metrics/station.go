@@ -27,12 +27,27 @@ type StationStats struct {
 	Stalls int64
 	// Wait is the queue-wait histogram (arrival to service start).
 	Wait LatencyRecorder
+	// Service is the service-time distribution after fail-slow shaping,
+	// with tail-percentile resolution.
+	Service Histogram
+	// SlowOps counts requests inflated by a fail-slow plan; SlowTime is
+	// the total extra service time injected.
+	SlowOps  int64
+	SlowTime sim.Duration
 }
 
 // String renders one scoreboard row.
 func (s StationStats) String() string {
-	return fmt.Sprintf("%-8s ops=%-7d util=%5.1f%% qpeak=%-3d stalls=%-5d wait[%s]",
+	row := fmt.Sprintf("%-8s ops=%-7d util=%5.1f%% qpeak=%-3d stalls=%-5d wait[%s]",
 		s.Name, s.Ops, 100*s.Utilization, s.QueuePeak, s.Stalls, s.Wait.String())
+	if s.Service.Count() > 0 {
+		row += fmt.Sprintf(" svc[p50=%v p99=%v p999=%v]",
+			s.Service.P50(), s.Service.P99(), s.Service.P999())
+	}
+	if s.SlowOps > 0 {
+		row += fmt.Sprintf(" slow[ops=%d time=%v]", s.SlowOps, s.SlowTime)
+	}
+	return row
 }
 
 // FormatStations renders a station table, one row per station, with the

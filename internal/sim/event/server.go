@@ -31,6 +31,16 @@ type Server struct {
 	// occupancy seen by the next arrival.
 	occupants []sim.Time
 
+	// shaper, when set, rewrites a request's service time at the moment
+	// service starts (fail-slow fault plans). It must be pure: same
+	// (start, svc) in, same shaped time out. A shaped request occupies
+	// the station for the inflated time, so later arrivals queue behind
+	// it — the starvation a genuinely slow device inflicts.
+	shaper func(start sim.Time, svc sim.Duration) sim.Duration
+	// observer, when set, sees every admitted request's (shaped) service
+	// time — the slow-device detector's feed.
+	observer func(svc sim.Duration)
+
 	// Ops counts admitted requests.
 	Ops int64
 	// BusyTime is accumulated service time (utilization numerator).
@@ -38,6 +48,13 @@ type Server struct {
 	// Wait is the queue-wait distribution (time between arrival and
 	// service start).
 	Wait metrics.LatencyRecorder
+	// Service is the per-station service-time distribution after
+	// shaping, with tail-percentile resolution.
+	Service metrics.Histogram
+	// SlowOps counts requests whose service time the shaper inflated;
+	// SlowTime is the total time it injected.
+	SlowOps  int64
+	SlowTime sim.Duration
 	// QueuePeak is the largest queue occupancy observed at admission.
 	QueuePeak int
 	// Stalls counts admissions that found the bounded queue full and had
@@ -53,6 +70,14 @@ func NewServer(name string, queueCap int) *Server {
 
 // Name returns the station label.
 func (s *Server) Name() string { return s.name }
+
+// SetShaper installs (or clears, with nil) the service-time shaper.
+func (s *Server) SetShaper(f func(start sim.Time, svc sim.Duration) sim.Duration) {
+	s.shaper = f
+}
+
+// SetObserver installs (or clears, with nil) the service-time observer.
+func (s *Server) SetObserver(f func(svc sim.Duration)) { s.observer = f }
 
 // BusyUntil returns the instant the station's last admitted request
 // completes. It never regresses.
@@ -86,6 +111,16 @@ func (s *Server) Admit(arrival sim.Time, svc sim.Duration) (start, done sim.Time
 	if s.busyUntil > start {
 		start = s.busyUntil
 	}
+	// Fail-slow shaping happens at service start: the slow request holds
+	// the station for its inflated time and everything behind it waits.
+	if s.shaper != nil {
+		shaped := s.shaper(start, svc)
+		if shaped > svc {
+			s.SlowOps++
+			s.SlowTime += shaped - svc
+			svc = shaped
+		}
+	}
 	done = start.Add(svc)
 	s.busyUntil = done
 	s.occupants = append(s.occupants, done)
@@ -95,6 +130,10 @@ func (s *Server) Admit(arrival sim.Time, svc sim.Duration) (start, done sim.Time
 	s.Ops++
 	s.BusyTime += svc
 	s.Wait.Record(start.Sub(arrival))
+	s.Service.Record(svc)
+	if s.observer != nil {
+		s.observer(svc)
+	}
 	return start, done
 }
 
@@ -107,6 +146,9 @@ func (s *Server) Snapshot(elapsed sim.Duration) metrics.StationStats {
 		QueuePeak: s.QueuePeak,
 		Stalls:    s.Stalls,
 		Wait:      s.Wait,
+		Service:   s.Service,
+		SlowOps:   s.SlowOps,
+		SlowTime:  s.SlowTime,
 	}
 	if elapsed > 0 {
 		st.Utilization = float64(s.BusyTime) / float64(elapsed)
@@ -124,6 +166,9 @@ func (s *Server) ResetStats() {
 	s.Ops = 0
 	s.BusyTime = 0
 	s.Wait = metrics.LatencyRecorder{}
+	s.Service = metrics.Histogram{}
+	s.SlowOps = 0
+	s.SlowTime = 0
 	s.QueuePeak = 0
 	s.Stalls = 0
 }
