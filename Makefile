@@ -1,19 +1,28 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke fuzz-smoke clockcheck chaos chaos-smoke examples
+.PHONY: help check build vet lint fmt-check test race bench bench-smoke fuzz-smoke clockcheck chaos chaos-smoke examples
 
-check: vet build race clockcheck bench-smoke ## everything CI's check job runs
+help: ## list targets (static analysis lives in lint = icash-vet)
+	@awk -F':.*## ' '/^[a-z-]+:.*## /{printf "%-12s %s\n", $$1, $$2}' Makefile
 
-build:
+check: fmt-check vet lint build race clockcheck bench-smoke ## everything CI's check job runs
+
+build: ## go build ./...
 	$(GO) build ./...
 
-vet:
+vet: ## stdlib go vet
 	$(GO) vet ./...
 
-test:
+lint: ## icash-vet: repo-specific analyzers (detclock, maporder, errclass, latcharge)
+	$(GO) run ./cmd/icash-vet ./...
+
+fmt-check: ## fail on gofmt drift
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test: ## go test ./...
 	$(GO) test ./...
 
-race:
+race: ## go test -race ./...
 	$(GO) test -race ./...
 
 bench:

@@ -1,0 +1,68 @@
+// Command icash-vet runs the repo-specific static analyzer suite
+// (internal/analysis) over the module: detclock, maporder, errclass
+// and latcharge — the compile-time enforcement of the determinism and
+// error-handling invariants the simulation's correctness rests on.
+//
+// Usage:
+//
+//	icash-vet [-list] [packages]
+//
+// Package patterns are module-relative ("./...", "./internal/ssd");
+// the default is "./...". Findings print one per line in vet format
+// (file:line:col: analyzer: message) and any finding exits 1. A
+// known-good site is suppressed with a //lint:ignore directive on its
+// line or the line above:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"icash/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzer catalog and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: icash-vet [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Catalog() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icash-vet:", err)
+		os.Exit(2)
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icash-vet:", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Vet(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icash-vet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "icash-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import "testing"
+
+// TestDetClockFixture runs detclock over its golden fixture, mounted
+// under icash/internal/ so the analyzer is in scope.
+func TestDetClockFixture(t *testing.T) {
+	runFixture(t, DetClock, "detclock", "icash/internal/fixturedet")
+}
+
+// TestDetClockOutOfScope proves the same fixture produces nothing
+// outside internal/: the analyzer must not leak into cmd/ or examples.
+func TestDetClockOutOfScope(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Lenient = true
+	pkg, err := l.LoadDir("testdata/src/detclock", "icash/cmd/fixturedet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := RunAnalyzers([]*Analyzer{DetClock}, pkg); len(fs) != 0 {
+		t.Fatalf("detclock fired outside internal/: %v", fs)
+	}
+}
+
+// TestDetClockAllowsOwnerPackages proves the clock-mutation rule stays
+// quiet in the run-driving packages: the same mutating calls that the
+// fixture flags are legal when the package is a clock owner.
+func TestDetClockAllowsOwnerPackages(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Lenient = true
+	pkg, err := l.LoadDir("testdata/src/ownerclock", "icash/internal/harness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := RunAnalyzers([]*Analyzer{DetClock}, pkg); len(fs) != 0 {
+		t.Fatalf("detclock flagged clock mutation in an owner package: %v", fs)
+	}
+}

@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrClass proves the fault taxonomy's promise: every device error is
+// classified before it is acted on, and none is silently discarded on
+// an I/O path. fault.Classify and blockdev.Classify resolve an error's
+// recovery class through arbitrary wrapping — but only if every layer
+// preserves the chain (%w) and nobody drops or shadow-compares the
+// error on the way up.
+//
+// In the device-layer packages (blockdev, ssd, hdd, raid, ram, core,
+// fault and its subpackages, baseline, harness) the analyzer flags:
+//
+//   - `_ = expr` and `x, _ := f()` assignments that blank an
+//     error-typed value: a swallowed I/O error is a silent-data-loss
+//     bug in waiting;
+//   - expression, defer and go statements that call a function
+//     returning an error and drop the whole result
+//     (`dev.WriteBlock(...)` as a bare statement) — except calls whose
+//     error result is dead by documented contract: the fmt print
+//     family, strings.Builder / bytes.Buffer writes, hash.Hash.Write;
+//   - fmt.Errorf calls that interpolate an error argument without the
+//     %w verb: the chain breaks and Classify downgrades the fault to
+//     ClassOther, disabling retry/degrade logic;
+//   - == / != comparisons between two error values (other than nil
+//     checks) and switches on an error value: sentinel identity does
+//     not survive wrapping — use errors.Is, errors.As, or
+//     fault.Classify.
+var ErrClass = &Analyzer{
+	Name: "errclass",
+	Doc:  "device-layer errors must be classified or %w-wrapped, never discarded or identity-compared",
+	Run:  runErrClass,
+}
+
+// errClassPkgs are the I/O-path packages the discipline applies to.
+// fault subpackages (chaos, crashtest) inherit via prefix match.
+var errClassPkgs = map[string]bool{
+	"icash/internal/blockdev": true,
+	"icash/internal/ssd":      true,
+	"icash/internal/hdd":      true,
+	"icash/internal/raid":     true,
+	"icash/internal/ram":      true,
+	"icash/internal/core":     true,
+	"icash/internal/fault":    true,
+	"icash/internal/baseline": true,
+	"icash/internal/harness":  true,
+}
+
+func inErrClassScope(path string) bool {
+	return errClassPkgs[path] || strings.HasPrefix(path, "icash/internal/fault/")
+}
+
+func runErrClass(pass *Pass) {
+	if !inErrClassScope(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkBlankError(pass, n)
+			case *ast.ExprStmt:
+				checkDroppedError(pass, n.X, "")
+			case *ast.DeferStmt:
+				checkDroppedError(pass, n.Call, "defer ")
+			case *ast.GoStmt:
+				checkDroppedError(pass, n.Call, "go ")
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			case *ast.BinaryExpr:
+				checkErrorCompare(pass, n)
+			case *ast.SwitchStmt:
+				checkErrorSwitch(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankError flags assignments that blank an error value.
+func checkBlankError(pass *Pass, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if isErrorType(blankedType(pass, as, i)) {
+			pass.Reportf(lhs.Pos(),
+				"error value discarded with _ on an I/O path: handle it, or wrap with %%w and return (suppress with //lint:ignore errclass <why> if provably impossible)")
+		}
+	}
+}
+
+// checkDroppedError flags statements that invoke an error-returning
+// function and ignore every result. Writers whose documented contract
+// is to never return a non-nil error are exempt (see neverFails).
+func checkDroppedError(pass *Pass, e ast.Expr, prefix string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if returnsError(pass, call) && !neverFails(pass, call) {
+		pass.Reportf(call.Pos(),
+			"%sstatement drops an error result on an I/O path: check it or assign it explicitly", prefix)
+	}
+}
+
+// neverFails reports whether call's error result is dead by documented
+// contract: the fmt print family, the in-memory writers
+// (strings.Builder, bytes.Buffer), and hash.Hash.Write all promise to
+// never return a non-nil error, so dropping it carries no information.
+func neverFails(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		return strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")
+	}
+	if !isMethod(fn) {
+		return false
+	}
+	// Judge methods by the static type of the receiver expression (not
+	// the method's declaring type): h.Write on a hash.Hash64 resolves
+	// to the embedded io.Writer.Write, but it is the hash interface
+	// that documents the never-fails contract.
+	recv := receiverType(pass, call)
+	pkgPath, name, named := namedTypePath(recv)
+	if !named {
+		return false
+	}
+	switch {
+	case pkgPath == "strings" && name == "Builder":
+		return true
+	case pkgPath == "bytes" && name == "Buffer":
+		return true
+	case pkgPath == "hash" && fn.Name() == "Write":
+		return true
+	}
+	return false
+}
+
+// checkErrorfWrap flags fmt.Errorf with an error argument and no %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !isPkgFunc(pass.Info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrorType(pass.Info.TypeOf(arg)) {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf interpolates an error without %%w: the chain breaks and fault.Classify downgrades it to ClassOther (use %%w, or %%v with //lint:ignore errclass <why> to deliberately seal the chain)")
+			return
+		}
+	}
+}
+
+// checkErrorCompare flags err1 == err2 where neither side is nil.
+func checkErrorCompare(pass *Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if !isErrorType(pass.Info.TypeOf(b.X)) || !isErrorType(pass.Info.TypeOf(b.Y)) {
+		return
+	}
+	if isNilExpr(pass.Info, b.X) || isNilExpr(pass.Info, b.Y) {
+		return
+	}
+	pass.Reportf(b.Pos(),
+		"error identity comparison does not survive %%w wrapping: use errors.Is, errors.As, or fault.Classify")
+}
+
+// checkErrorSwitch flags `switch err { case ErrMedia: ... }`.
+func checkErrorSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorType(pass.Info.TypeOf(sw.Tag)) {
+		return
+	}
+	// A switch whose only cases are nil tests is a null check; any
+	// non-nil case expression is a sentinel identity match.
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if !isNilExpr(pass.Info, e) {
+				pass.Reportf(e.Pos(),
+					"switch on error identity does not survive %%w wrapping: switch on fault.Classify(err) instead")
+				return
+			}
+		}
+	}
+}
+
+// receiverType returns the static type of the receiver expression of a
+// method call, or nil for non-selector calls.
+func receiverType(pass *Pass, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := pass.Info.Selections[sel]; ok {
+		return s.Recv()
+	}
+	return nil
+}
+
+// blankedType resolves the type flowing into LHS position i of as:
+// positions pair one-to-one unless a single multi-value RHS (call,
+// comma-ok) fans out across the LHS, which go/types records as a
+// tuple.
+func blankedType(pass *Pass, as *ast.AssignStmt, i int) types.Type {
+	if len(as.Rhs) == len(as.Lhs) {
+		return pass.Info.TypeOf(as.Rhs[i])
+	}
+	if len(as.Rhs) != 1 {
+		return nil
+	}
+	t := pass.Info.TypeOf(as.Rhs[0])
+	if tuple, ok := t.(*types.Tuple); ok && i < tuple.Len() {
+		return tuple.At(i).Type()
+	}
+	return nil
+}
+
+// returnsError reports whether call's result tuple contains an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}

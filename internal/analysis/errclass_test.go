@@ -1,0 +1,31 @@
+package analysis
+
+import "testing"
+
+// TestErrClassFixture runs errclass over its golden fixture, mounted
+// under internal/fault/ so the device-layer scope applies.
+func TestErrClassFixture(t *testing.T) {
+	runFixture(t, ErrClass, "errclass", "icash/internal/fault/fixtureerr")
+}
+
+// TestErrClassOutOfScope proves the discipline does not apply outside
+// the device-layer packages (reporting/tool code may drop fmt errors
+// freely without suppressions).
+func TestErrClassOutOfScope(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Lenient = true
+	pkg, err := l.LoadDir("testdata/src/errclass", "icash/cmd/fixtureerr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := RunAnalyzers([]*Analyzer{ErrClass}, pkg); len(fs) != 0 {
+		t.Fatalf("errclass fired outside the device layer: %v", fs)
+	}
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers []string // analyzer names the directive silences
+	reason    string   // mandatory justification
+}
+
+// parseIgnores extracts every //lint:ignore directive from pkg's
+// comments. Malformed directives (no analyzer, no reason, or a name
+// not in the catalog) are returned as findings so a typo cannot
+// silently disable a check.
+func parseIgnores(pkg *Package) (byLine map[string][]ignoreDirective, bad []Finding) {
+	known := make(map[string]bool)
+	for _, a := range Catalog() {
+		known[a.Name] = true
+	}
+	byLine = make(map[string][]ignoreDirective)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "malformed //lint:ignore: need an analyzer name and a reason",
+					})
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				valid := true
+				for _, n := range names {
+					if !known[n] {
+						bad = append(bad, Finding{
+							Pos:      pos,
+							Analyzer: "lint",
+							Message:  "//lint:ignore names unknown analyzer " + n,
+						})
+						valid = false
+					}
+				}
+				if !valid {
+					continue
+				}
+				d := ignoreDirective{
+					pos:       pos,
+					analyzers: names,
+					reason:    strings.Join(fields[1:], " "),
+				}
+				byLine[lineKey(pos.Filename, pos.Line)] = append(byLine[lineKey(pos.Filename, pos.Line)], d)
+			}
+		}
+	}
+	return byLine, bad
+}
+
+func lineKey(file string, line int) string {
+	return file + "\x00" + strconv.Itoa(line)
+}
+
+// applyIgnores filters findings suppressed by a //lint:ignore directive
+// on the finding's own line or the line directly above it, and appends
+// findings for malformed directives.
+func applyIgnores(pkg *Package, findings []Finding) []Finding {
+	byLine, bad := parseIgnores(pkg)
+	var kept []Finding
+	for _, f := range findings {
+		if ignored(byLine, f) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	kept = append(kept, bad...)
+	return kept
+}
+
+func ignored(byLine map[string][]ignoreDirective, f Finding) bool {
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, d := range byLine[lineKey(f.Pos.Filename, line)] {
+			for _, name := range d.analyzers {
+				if name == f.Analyzer {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LatCharge proves the latency-accounting invariant of the device
+// models: a block-op method (ReadBlock/WriteBlock returning
+// (sim.Duration, error)) must not return success without charging the
+// request's service time to the device's accounting — the
+// blockdev.Stats NoteRead/NoteWrite helpers and, when instrumented,
+// the event-station note. A success path that skips the charge makes
+// throughput figures silently optimistic and starves the station
+// model of the queueing time the concurrency engine depends on.
+//
+// The check is a lexical approximation, deliberately biased quiet: a
+// `return …, nil` inside a ReadBlock/WriteBlock method in
+// internal/ssd, internal/hdd or internal/raid is flagged only when no
+// accounting call (Stats.NoteRead, Stats.NoteWrite, or a tracer
+// note/Note) appears anywhere earlier in the method body. Error
+// returns are exempt — charging on failure is policy, not invariant.
+var LatCharge = &Analyzer{
+	Name: "latcharge",
+	Doc:  "device op methods must charge latency accounting before returning success",
+	Run:  runLatCharge,
+}
+
+// latChargePkgs are the device-model packages whose op methods carry
+// the accounting obligation.
+var latChargePkgs = map[string]bool{
+	"icash/internal/ssd":  true,
+	"icash/internal/hdd":  true,
+	"icash/internal/raid": true,
+}
+
+// chargeMethods are the accounting helpers that count as charging:
+// the blockdev.Stats note pair and the event-tracer station note.
+var chargeMethods = map[string]bool{
+	"NoteRead": true, "NoteWrite": true, "Note": true, "note": true,
+}
+
+func runLatCharge(pass *Pass) {
+	if !latChargePkgs[pass.Pkg.Path()] {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "ReadBlock" && fd.Name.Name != "WriteBlock" {
+				continue
+			}
+			if !isDurationErrorSig(pass, fd) {
+				continue
+			}
+			checkOpMethod(pass, fd)
+		}
+	}
+}
+
+// isDurationErrorSig reports whether fd returns exactly
+// (sim.Duration, error).
+func isDurationErrorSig(pass *Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	res := obj.Type().(*types.Signature).Results()
+	if res.Len() != 2 || !isErrorType(res.At(1).Type()) {
+		return false
+	}
+	pkgPath, name, ok := namedTypePath(res.At(0).Type())
+	return ok && pkgPath == simPkgPath && name == "Duration"
+}
+
+// checkOpMethod flags success returns not preceded by a charge.
+// Function literals are not descended into: their returns belong to
+// the closure, not to the op method.
+func checkOpMethod(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 2 {
+			return true
+		}
+		if !isNilExpr(pass.Info, ret.Results[1]) {
+			return true // error path: charging is optional
+		}
+		if !chargedBefore(pass, fd, ret) {
+			pass.Reportf(ret.Pos(),
+				"%s returns success without charging latency: call Stats.NoteRead/NoteWrite (and the station note when instrumented) before this return", fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// chargedBefore reports whether any accounting call appears lexically
+// before ret inside fd's body.
+func chargedBefore(pass *Pass, fd *ast.FuncDecl, ret *ast.ReturnStmt) bool {
+	charged := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if charged || n == nil || n.Pos() >= ret.Pos() {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(pass.Info, call); fn != nil && isMethod(fn) && chargeMethods[fn.Name()] {
+				charged = true
+				return false
+			}
+		}
+		return true
+	})
+	return charged
+}

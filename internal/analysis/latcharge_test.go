@@ -1,0 +1,32 @@
+package analysis
+
+import "testing"
+
+// TestLatChargeFixture runs latcharge over its golden fixture, mounted
+// at a device-model path (internal/ssd) so op methods carry the
+// accounting obligation.
+func TestLatChargeFixture(t *testing.T) {
+	runFixture(t, LatCharge, "latcharge", "icash/internal/ssd")
+}
+
+// TestLatChargeOutOfScope proves op-shaped methods outside the device
+// models (e.g. the controller, whose charging flows through different
+// helpers) are not flagged by this analyzer.
+func TestLatChargeOutOfScope(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Lenient = true
+	pkg, err := l.LoadDir("testdata/src/latcharge", "icash/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := RunAnalyzers([]*Analyzer{LatCharge}, pkg); len(fs) != 0 {
+		t.Fatalf("latcharge fired outside the device models: %v", fs)
+	}
+}

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder proves the GOMAXPROCS-determinism invariant against its
+// classic silent killer: Go randomizes map iteration order, so any
+// `range` over a map whose body does something order-sensitive makes
+// results differ run to run while every test still passes. The
+// chaos-soak regression test eventually notices; this analyzer rejects
+// the diff instead.
+//
+// A map range is flagged when its body:
+//
+//   - writes output (the fmt print family, including Sprint*: a string
+//     built from map order is as nondeterministic as printed bytes);
+//   - appends to a slice declared outside the loop (the slice's
+//     element order then depends on map order — unless the slice is
+//     passed to a sort/slices sorting call later in the same function,
+//     the collect-then-sort idiom, which re-establishes determinism);
+//   - accumulates floating point (+= and friends on a float declared
+//     outside the loop: FP addition is not associative, so the sum
+//     depends on iteration order);
+//   - feeds the metrics package (histograms and windowed detectors are
+//     order-sensitive; a counter bumped in map order today becomes a
+//     ring-buffer append tomorrow).
+//
+// Integer accumulation, membership tests, and keyed writes into other
+// maps are order-insensitive and intentionally not flagged. The fix is
+// almost always the same: collect the keys, sort them, range over the
+// sorted slice.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-sensitive iteration over Go maps (output, escaping appends, float accumulation, metrics)",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.Info.TypeOf(rng.X); t == nil {
+				return true
+			} else if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			checkMapRange(pass, rng, enclosingFunc(file, rng))
+			return true
+		})
+	}
+}
+
+// enclosingFunc returns the innermost function declaration or literal
+// lexically containing n, or the file itself for package-level code.
+// Pre-order traversal visits outer functions before nested ones, so
+// the last containing match is the innermost.
+func enclosingFunc(file *ast.File, n ast.Node) ast.Node {
+	var best ast.Node = file
+	ast.Inspect(file, func(m ast.Node) bool {
+		switch m.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if m.Pos() <= n.Pos() && n.End() <= m.End() {
+				best = m
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// checkMapRange inspects one map-range body for order-sensitive sinks.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, enclosing ast.Node) {
+	// The collect-keys idiom: a body that only appends the key to a
+	// slice is fine if and only if that slice is later sorted.
+	if sliceObj, ok := collectKeysOnly(pass.Info, rng); ok {
+		if sortedLater(pass.Info, enclosing, rng, sliceObj) {
+			return
+		}
+		pass.Reportf(rng.Pos(),
+			"map keys collected into %s but never sorted in this function: iteration order will leak into results (sort before use)", sliceObj.Name())
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Info, n); fn != nil && fn.Pkg() != nil {
+				if fn.Pkg().Path() == "fmt" && isPrintName(fn.Name()) {
+					pass.Reportf(n.Pos(),
+						"fmt.%s inside range over map: output order is nondeterministic (iterate sorted keys)", fn.Name())
+				}
+				if fn.Pkg().Path() == "icash/internal/metrics" {
+					pass.Reportf(n.Pos(),
+						"metrics call inside range over map: observation order is nondeterministic (iterate sorted keys)")
+				}
+			}
+			if obj := appendTarget(pass.Info, n); obj != nil && !declaredWithin(obj, rng) &&
+				!sortedLater(pass.Info, enclosing, rng, obj) {
+				pass.Reportf(n.Pos(),
+					"append to %s (declared outside the loop) inside range over map: element order is nondeterministic (iterate sorted keys, or sort %s before use)", obj.Name(), obj.Name())
+			}
+		case *ast.AssignStmt:
+			checkFloatAccum(pass, rng, n)
+		}
+		return true
+	})
+}
+
+// isPrintName matches the fmt print family, Sprint* included.
+func isPrintName(name string) bool {
+	for _, prefix := range []string{"Print", "Fprint", "Sprint", "Append"} {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
+// appendTarget returns the object of x in `x = append(x, ...)`-style
+// calls, i.e. the slice being grown, or nil for non-append calls.
+// It resolves the call's first argument, which is the canonical target
+// even in `y = append(x, ...)` misuse.
+func appendTarget(info *types.Info, call *ast.CallExpr) types.Object {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	return baseIdentObj(info, call.Args[0])
+}
+
+// checkFloatAccum flags op-assignments accumulating floats declared
+// outside the loop.
+func checkFloatAccum(pass *Pass, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	for _, lhs := range as.Lhs {
+		t := pass.Info.TypeOf(lhs)
+		if t == nil {
+			continue
+		}
+		basic, ok := t.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsFloat == 0 {
+			continue
+		}
+		if obj := baseIdentObj(pass.Info, lhs); obj != nil && !declaredWithin(obj, rng) {
+			pass.Reportf(as.Pos(),
+				"floating-point accumulation into %s inside range over map: FP addition is not associative, the sum depends on iteration order", obj.Name())
+		}
+	}
+}
+
+// collectKeysOnly reports whether rng's body is exactly the
+// collect-keys idiom `s = append(s, k)` (k the range key), returning
+// the slice object.
+func collectKeysOnly(info *types.Info, rng *ast.RangeStmt) (types.Object, bool) {
+	if len(rng.Body.List) != 1 || rng.Key == nil {
+		return nil, false
+	}
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	as, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Tok != token.ASSIGN {
+		return nil, false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return nil, false
+	}
+	target := appendTarget(info, call)
+	if target == nil || target != baseIdentObj(info, as.Lhs[0]) {
+		return nil, false
+	}
+	arg, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	if !ok || info.ObjectOf(arg) != info.ObjectOf(keyID) {
+		return nil, false
+	}
+	return target, true
+}
+
+// sortedLater reports whether, after rng, the enclosing function calls
+// a sort/slices function with obj as an argument (sort.Slice(keys, …),
+// sort.Ints(keys), slices.Sort(keys), …).
+func sortedLater(info *types.Info, enclosing ast.Node, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if baseIdentObj(info, arg) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+// TestMapOrderFixture runs maporder over its golden fixture: output,
+// escaping appends, float accumulation and metrics feeds inside map
+// ranges are flagged; sorted-key idioms and integer accumulation are
+// not.
+func TestMapOrderFixture(t *testing.T) {
+	runFixture(t, MapOrder, "maporder", "icash/internal/fixturemap")
+}

@@ -1,0 +1,45 @@
+// Package fixturedet exercises the detclock analyzer. Each `want`
+// marker names a substring of the finding expected on that line;
+// unmarked lines must produce no finding. The fixture test mounts this
+// package at an icash/internal/ path so the analyzer is in scope.
+package fixturedet
+
+import (
+	_ "math/rand" // want "import of math/rand"
+	"time"
+
+	"icash/internal/sim"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()          // want "wall-clock call time.Now"
+	time.Sleep(time.Millisecond) // want "wall-clock call time.Sleep"
+	return time.Since(start)     // want "wall-clock call time.Since"
+}
+
+func zeroTime() time.Time {
+	return time.Time{} // want "argless time.Time construction"
+}
+
+func mutateClock(c *sim.Clock) {
+	c.Advance(sim.Microsecond) // want "sim.Clock.Advance called outside"
+	c.AdvanceTo(5)             // want "sim.Clock.AdvanceTo called outside"
+	c.Reset()                  // want "sim.Clock.Reset called outside"
+}
+
+// readClock shows the non-mutating side of the single-owner rule:
+// anyone may read simulated time.
+func readClock(c *sim.Clock) sim.Time {
+	return c.Now()
+}
+
+// simDurations never touch the time package's clock; only its types
+// would, and sim defines its own.
+func simDurations() sim.Duration {
+	return 3 * sim.Millisecond
+}
+
+func suppressed(c *sim.Clock) {
+	//lint:ignore detclock fixture demonstrates a justified suppression
+	c.Advance(sim.Microsecond)
+}

@@ -1,0 +1,92 @@
+// Package fixtureerr exercises the errclass analyzer. The fixture is
+// mounted under icash/internal/fault/ so the device-layer scope
+// applies.
+package fixtureerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func produce() error                   { return errSentinel }
+func produceTwo() (int, error)         { return 0, errSentinel }
+func produceThree() (int, bool)        { return 0, false }
+func lookup(m map[int]int) (int, bool) { v, ok := m[0]; return v, ok }
+
+func blankDiscard() int {
+	_ = produce()        // want "error value discarded with _"
+	n, _ := produceTwo() // want "error value discarded with _"
+	return n
+}
+
+func blankBoolIsFine(m map[int]int) int {
+	n, _ := produceThree() // bool, not error: no finding
+	v, _ := lookup(m)
+	return n + v
+}
+
+func dropped() {
+	produce() // want "statement drops an error result"
+}
+
+func droppedDefer() {
+	defer produce() // want "defer statement drops an error result"
+}
+
+func droppedGo() {
+	go produce() // want "go statement drops an error result"
+}
+
+func badWrap(err error) error {
+	return fmt.Errorf("read failed: %v", err) // want "interpolates an error without %w"
+}
+
+func goodWrap(err error) error {
+	return fmt.Errorf("read failed: %w", err)
+}
+
+func compare(err error) bool {
+	return err == errSentinel // want "error identity comparison"
+}
+
+func compareNeq(err error) bool {
+	return err != errSentinel // want "error identity comparison"
+}
+
+func nilChecks(err error) bool {
+	return err == nil || nil != err
+}
+
+func switchIdentity(err error) int {
+	switch err {
+	case errSentinel: // want "switch on error identity"
+		return 1
+	}
+	return 0
+}
+
+func switchNilOnly(err error) bool {
+	switch err {
+	case nil:
+		return true
+	}
+	return false
+}
+
+// neverFailWriters: contracts documented to return nil errors are not
+// worth a finding.
+func neverFailWriters() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x=%d", 1)
+	b.WriteString("tail")
+	fmt.Println(b.String())
+	return b.String()
+}
+
+func suppressedDiscard() {
+	//lint:ignore errclass fixture demonstrates a justified suppression
+	_ = produce()
+}

@@ -1,0 +1,25 @@
+// Package fixtureignore exercises the //lint:ignore directive
+// machinery itself; see TestIgnoreDirectives for the expectations.
+package fixtureignore
+
+import "time"
+
+func unsuppressed() time.Time {
+	return time.Now() // survives: no directive
+}
+
+func wrongAnalyzer() {
+	//lint:ignore maporder directive names the wrong analyzer, so detclock still fires
+	time.Sleep(time.Millisecond)
+}
+
+func suppressedSameLine() time.Duration {
+	start := time.Time{} //lint:ignore detclock same-line directive silences both findings on this line
+	return time.Since(start)
+}
+
+//lint:ignore
+func malformedNoArgs() {}
+
+//lint:ignore nosuch this analyzer does not exist
+func unknownAnalyzer() {}

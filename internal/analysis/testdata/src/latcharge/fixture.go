@@ -1,0 +1,72 @@
+// Package fixturelat exercises the latcharge analyzer. The fixture is
+// mounted at a device-model package path (internal/ssd) so the op
+// methods below carry the accounting obligation.
+package fixturelat
+
+import (
+	"errors"
+
+	"icash/internal/blockdev"
+	"icash/internal/sim"
+)
+
+var errBroken = errors.New("broken")
+
+// Dev charges on its final success path but leaks an early one.
+type Dev struct {
+	Stats blockdev.Stats
+}
+
+func (d *Dev) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
+	if lba < 0 {
+		return 0, errBroken // error path: charging optional, no finding
+	}
+	if lba == 1 {
+		return 5 * sim.Microsecond, nil // want "ReadBlock returns success without charging latency"
+	}
+	lat := 10 * sim.Microsecond
+	d.Stats.NoteRead(blockdev.BlockSize, lat)
+	return lat, nil
+}
+
+// WriteBlock never charges at all.
+func (d *Dev) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
+	if err := blockdev.CheckRange(lba, 100); err != nil {
+		return 0, err
+	}
+	return sim.Microsecond, nil // want "WriteBlock returns success without charging latency"
+}
+
+// seekCost has the op signature but not an op name: helpers that
+// compute latency for their caller to charge are fine.
+func (d *Dev) seekCost() (sim.Duration, error) {
+	return sim.Microsecond, nil
+}
+
+// Closure proves returns inside function literals belong to the
+// closure, not the op method.
+type Closure struct {
+	Stats blockdev.Stats
+}
+
+func (c *Closure) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
+	f := func() (sim.Duration, error) {
+		return 0, nil // closure's own return: no finding
+	}
+	lat, err := f()
+	if err != nil {
+		return 0, err
+	}
+	c.Stats.NoteRead(blockdev.BlockSize, lat)
+	return lat, nil
+}
+
+// Quiet shows the suppression escape hatch.
+type Quiet struct {
+	Stats blockdev.Stats
+}
+
+func (q *Quiet) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
+	//lint:ignore latcharge fixture demonstrates a justified suppression
+	return sim.Microsecond, nil
+}

@@ -1,0 +1,129 @@
+// Package fixturemap exercises the maporder analyzer: order-sensitive
+// map-range bodies are flagged, order-insensitive ones and the
+// collect-then-sort idiom are not.
+package fixturemap
+
+import (
+	"fmt"
+	"sort"
+
+	"icash/internal/metrics"
+	"icash/internal/sim"
+)
+
+func printing(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside range over map"
+	}
+}
+
+func stringBuild(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += fmt.Sprintf("%s,", k) // want "fmt.Sprintf inside range over map"
+	}
+	return out
+}
+
+func escapingAppend(m map[int64]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want "append to out"
+	}
+	return out
+}
+
+func floatAccum(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "floating-point accumulation into total"
+	}
+	return total
+}
+
+func metricsFeed(m map[int]sim.Duration, h *metrics.Histogram) {
+	for _, d := range m {
+		h.Record(d) // want "metrics call inside range over map"
+	}
+}
+
+// collectUnsorted is the half-done idiom: keys collected but never
+// sorted, so the slice still carries map order.
+func collectUnsorted(m map[string]int) []string { // the finding lands on the range line below
+	var keys []string
+	for k := range m { // want "never sorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// --- negative cases: all of the below must produce no findings ---
+
+// collectSorted is the canonical fix: collect, sort, then use.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// filteredAppendSorted mirrors the dedup cache's evict path: a
+// conditional append whose slice is sorted after the loop.
+func filteredAppendSorted(m map[int64]bool) []int64 {
+	var lbas []int64
+	for lba, dirty := range m {
+		if dirty {
+			lbas = append(lbas, lba)
+		}
+	}
+	sort.Slice(lbas, func(i, j int) bool { return lbas[i] < lbas[j] })
+	return lbas
+}
+
+// intAccum: integer addition is commutative and associative, so the
+// total is order-independent.
+func intAccum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// keyedWrites: writes into another map keyed by the range key land in
+// the same place whatever the order.
+func keyedWrites(src map[int]int, dst map[int]int) {
+	for k, v := range src {
+		dst[k] = v * 2
+	}
+}
+
+// localAppend: the slice is declared inside the loop body, so nothing
+// escapes in map order.
+func localAppend(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// sliceRange: ranging a slice is ordered; nothing to flag.
+func sliceRange(s []float64) float64 {
+	total := 0.0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+func suppressed(m map[string]int) {
+	for k := range m {
+		//lint:ignore maporder fixture demonstrates a justified suppression
+		fmt.Println(k)
+	}
+}

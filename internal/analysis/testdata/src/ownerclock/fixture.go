@@ -1,0 +1,15 @@
+// Package ownerclock is the negative twin of the detclock fixture's
+// clock-mutation cases: mounted at a run-driving package path
+// (internal/harness), the same calls are the legitimate single owner
+// moving simulated time.
+package ownerclock
+
+import "icash/internal/sim"
+
+func driveRun(c *sim.Clock) sim.Time {
+	c.Advance(10 * sim.Microsecond)
+	c.AdvanceTo(5 * sim.Time(sim.Millisecond))
+	t := c.Now()
+	c.Reset()
+	return t
+}

@@ -273,8 +273,10 @@ func (d *Device) tearAndDie(lba int64, buf []byte) error {
 			// Bypass wrapper accounting: this is the physical tail of
 			// the dying write, not a new host request.
 			if p, ok := d.inner.(blockdev.Preloader); ok {
+				//lint:ignore errclass the device is dying mid-write; the torn tail is best-effort and there is no caller to surface a failure to
 				p.Preload(lba, old)
 			} else {
+				//lint:ignore errclass the device is dying mid-write; the torn tail is best-effort and there is no caller to surface a failure to
 				d.inner.WriteBlock(lba, old)
 			}
 		}

@@ -14,6 +14,16 @@ import (
 // A side table (rather than a Clock field) keeps the zero-cost no-op
 // path in normal builds and the Clock struct layout identical across
 // build modes.
+//
+// This runtime assertion is one of two enforcement layers for the
+// single-owner rule. The other is static: the detclock analyzer
+// (internal/analysis/detclock.go, run by icash-vet / `make lint`)
+// rejects any diff in which a package outside the run-driving set
+// calls a mutating Clock method at all. The analyzer cannot see
+// dynamic ownership hand-offs between goroutines; this assertion
+// cannot see code paths tests never execute — keep both, and when the
+// set of run-driving packages changes, update detclock's
+// clockOwnerPkgs and DESIGN.md §10 together with this comment.
 var clockOwners sync.Map // *Clock -> uint64 goroutine id
 
 // goid parses the current goroutine's id from its stack header. Slow,
