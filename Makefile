@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: help check build vet lint fmt-check test race bench bench-smoke fuzz-smoke clockcheck chaos chaos-smoke examples
+.PHONY: help check build vet lint fmt-check test race bench bench-smoke bench-profile alloc-gate fuzz-smoke clockcheck chaos chaos-smoke examples
 
 help: ## list targets (static analysis lives in lint = icash-vet)
 	@awk -F':.*## ' '/^[a-z-]+:.*## /{printf "%-12s %s\n", $$1, $$2}' Makefile
 
-check: fmt-check vet lint build race clockcheck bench-smoke ## everything CI's check job runs
+check: fmt-check vet lint build race clockcheck bench-smoke alloc-gate ## everything CI's check job runs
 
 build: ## go build ./...
 	$(GO) build ./...
@@ -13,7 +13,7 @@ build: ## go build ./...
 vet: ## stdlib go vet
 	$(GO) vet ./...
 
-lint: ## icash-vet: repo-specific analyzers (detclock, maporder, errclass, latcharge)
+lint: ## icash-vet: repo-specific analyzers (detclock, maporder, errclass, latcharge, poolreturn)
 	$(GO) run ./cmd/icash-vet ./...
 
 fmt-check: ## fail on gofmt drift
@@ -30,6 +30,14 @@ bench:
 
 bench-smoke: ## one iteration of every figure benchmark
 	$(GO) test -bench=Fig -benchtime=1x -run '^$$' .
+
+bench-profile: ## full figure suite with CPU + heap profiles (cpu.prof, mem.prof)
+	$(GO) run ./cmd/icash-bench -run all -cpuprofile cpu.prof -memprofile mem.prof
+	@echo "profiles written: cpu.prof mem.prof (inspect with: go tool pprof cpu.prof)"
+
+alloc-gate: ## hot-path allocation gates + allocs/op benchmarks (must run WITHOUT -race)
+	$(GO) test -run 'TestAllocGate' -count=1 ./internal/delta/ ./internal/blockdev/ ./internal/core/
+	$(GO) test -bench 'AppendEncode|AppendDecode|Size' -benchtime 1000x -benchmem -run '^$$' ./internal/delta/
 
 fuzz-smoke: ## 10s per fuzz target, seeded from testdata corpora
 	$(GO) test ./internal/delta -fuzz FuzzDeltaRoundTrip -fuzztime 10s

@@ -8,21 +8,33 @@
 //	icash-bench -list                    # show the experiment index
 //	icash-bench -run fig6a -scale 0.02   # bigger run (default 1/256)
 //	icash-bench -run fig15 -qd 8 -vms    # overlapping I/O, per-VM streams
+//	icash-bench -run all -parallel 1     # serial (historical) scheduling
 //	icash-bench -qdsweep                 # RAID0 queue-depth scaling table
 //	icash-bench -chaos                   # 20-seed chaos soak at QD=8
 //	icash-bench -chaos -seeds 5 -chaosops 5000
+//	icash-bench -run all -cpuprofile cpu.out -memprofile mem.out
 //
 // Each experiment prints measured values next to the paper's reported
 // values; the reproduction criterion is the shape (who wins, by roughly
 // what factor), not absolute numbers — the substrate is a simulator,
 // not the authors' 2011 testbed.
+//
+// Experiment points (one per profile/system/queue-depth combination)
+// are independent simulations; -parallel fans them across a worker
+// pool with results reassembled in submission order, so the report is
+// byte-identical at every worker count. -parallel 1 reproduces the
+// historical serial scheduling exactly.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"icash/internal/fault/chaos"
 	"icash/internal/harness"
@@ -30,10 +42,19 @@ import (
 	"icash/internal/workload"
 )
 
-// runChaos drives n consecutive chaos-soak seeds and prints one result
-// line per seed plus an aggregate tail-latency summary. Any seed that
-// fails verification (invariant breakage or silent data loss) fails the
-// whole run after all seeds have reported.
+// chaosSeedResult is one seed's outcome, gathered by index so the soak
+// report stays in seed order whatever the worker count.
+type chaosSeedResult struct {
+	res *chaos.Result
+	err error
+}
+
+// runChaos drives n chaos-soak seeds — fanned across the harness's
+// worker count, each seed a fully independent simulation — and prints
+// one result line per seed (in seed order) plus an aggregate
+// tail-latency summary. Any seed that fails verification (invariant
+// breakage or silent data loss) fails the whole run after all seeds
+// have reported.
 func runChaos(base uint64, n, ops, qd int) error {
 	var (
 		readAll  metrics.Histogram
@@ -47,14 +68,36 @@ func runChaos(base uint64, n, ops, qd int) error {
 		qd = 8
 	}
 	fmt.Printf("chaos soak: %d seeds from %d, %d ops/seed, QD=%d\n", n, base, ops, qd)
-	for i := 0; i < n; i++ {
-		cfg := chaos.Config{Seed: base + uint64(i), Ops: ops, QueueDepth: qd}
-		res, err := chaos.Run(cfg)
-		if err != nil {
-			failed = append(failed, cfg.Seed)
-			fmt.Printf("  FAIL %v\n", err)
+	outs := make([]chaosSeedResult, n)
+	workers := harness.Parallelism()
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				cfg := chaos.Config{Seed: base + uint64(i), Ops: ops, QueueDepth: qd}
+				res, err := chaos.Run(cfg)
+				outs[i] = chaosSeedResult{res: res, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, out := range outs {
+		if out.err != nil {
+			failed = append(failed, base+uint64(i))
+			fmt.Printf("  FAIL %v\n", out.err)
 			continue
 		}
+		res := out.res
 		fmt.Printf("  %s\n", res)
 		readAll.Merge(&res.ReadHist)
 		writeAll.Merge(&res.WriteHist)
@@ -73,6 +116,10 @@ func runChaos(base uint64, n, ops, qd int) error {
 }
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		run     = flag.String("run", "", "comma-separated experiment IDs, or 'all'")
 		list    = flag.Bool("list", false, "list all experiments and exit")
@@ -82,11 +129,47 @@ func main() {
 		vms     = flag.Bool("vms", false, "run multi-VM benchmarks as interleaved per-VM streams")
 		qdsweep = flag.Bool("qdsweep", false, "print the RAID0 random-read queue-depth scaling table and exit")
 
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"experiment points to run concurrently (1 = historical serial scheduling; output is identical either way)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
 		chaos    = flag.Bool("chaos", false, "run the deterministic chaos soak (fail-slow + fail-stop schedules, oracle-checked)")
 		seeds    = flag.Int("seeds", 20, "chaos: number of consecutive seeds, starting at -seed")
 		chaosops = flag.Int("chaosops", 2000, "chaos: measured operations per seed")
 	)
 	flag.Parse()
+	harness.SetParallelism(*parallel)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icash-bench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "icash-bench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "icash-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "icash-bench: %v\n", err)
+			}
+		}()
+	}
 
 	if *chaos {
 		// The shared -qd flag defaults to 1 for the classic experiments;
@@ -100,9 +183,9 @@ func main() {
 		})
 		if err := runChaos(*seed, *seeds, *chaosops, chaosQD); err != nil {
 			fmt.Fprintf(os.Stderr, "icash-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *qdsweep {
@@ -120,9 +203,9 @@ func main() {
 		fmt.Print(report)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "icash-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *list || *run == "" {
@@ -131,9 +214,9 @@ func main() {
 			fmt.Printf("  %-16s %-12s %s\n", e.ID, e.Benchmark, e.Title)
 		}
 		if *run == "" && !*list {
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
 	}
 
 	ids := strings.Split(*run, ",")
@@ -142,6 +225,7 @@ func main() {
 	fmt.Print(report)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "icash-bench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

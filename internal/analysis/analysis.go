@@ -55,6 +55,7 @@ func Catalog() []*Analyzer {
 		MapOrder,
 		ErrClass,
 		LatCharge,
+		PoolReturn,
 	}
 }
 

@@ -114,8 +114,8 @@ func TestWantMarkersDoNotLeakIntoFindings(t *testing.T) {
 			t.Fatalf("catalog entry %+v incomplete", a)
 		}
 	}
-	if len(Catalog()) != 4 {
-		t.Fatalf("catalog has %d analyzers, want 4", len(Catalog()))
+	if len(Catalog()) != 5 {
+		t.Fatalf("catalog has %d analyzers, want 5", len(Catalog()))
 	}
 }
 

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// blockdevPath is the package whose buffer pool poolreturn audits.
+const blockdevPath = "icash/internal/blockdev"
+
+// PoolReturn proves the pool-ownership discipline behind the
+// zero-allocation hot path (DESIGN.md §11): every 4 KB buffer taken
+// from the blockdev pool must either come back via blockdev.PutBlock or
+// visibly transfer ownership. A buffer that does neither is a leak —
+// the program stays correct, but the pool silently degrades to
+// make([]byte, BlockSize) per I/O, which is exactly the regression the
+// pool exists to prevent and which no test notices (allocation gates
+// only cover the paths they exercise).
+//
+// Within each function, a blockdev.GetBlock() result bound to a local
+// variable must be one of:
+//
+//   - passed to blockdev.PutBlock, directly or inside a deferred call
+//     or closure in the same function;
+//   - stored somewhere that outlives the call: a struct field, slice or
+//     map element, dereference, or package-level variable (including as
+//     an operand of the right-hand side, so c.buf = append(c.buf, b)
+//     counts);
+//   - returned to the caller, which takes over the obligation.
+//
+// Merely lending the buffer to another function (h.Write(buf)) is not a
+// transfer — the lender still owns it — so a Get that is only lent and
+// never Put is flagged. A GetBlock() whose result is discarded or
+// passed straight into another call without ever being bound is flagged
+// outright: nothing can Put what nothing names. Known-good exceptions
+// carry a //lint:ignore poolreturn directive with a reason.
+var PoolReturn = &Analyzer{
+	Name: "poolreturn",
+	Doc:  "flag blockdev pool buffers that are neither returned via PutBlock nor handed off (field store / return)",
+	Run:  runPoolReturn,
+}
+
+func runPoolReturn(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkPoolOwnership(pass, fn.Body)
+		}
+	}
+}
+
+// checkPoolOwnership audits one function body (nested function literals
+// included — a deferred closure's PutBlock discharges the obligation).
+func checkPoolOwnership(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Info
+
+	// Pass 1: find every GetBlock call and how its result is bound.
+	acquired := map[types.Object]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isPkgFunc(info, call, blockdevPath, "GetBlock") || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !ok {
+					// v.dataRAM = GetBlock() and friends: the store
+					// itself is the ownership transfer.
+					continue
+				}
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(),
+						"blockdev.GetBlock() result discarded: the buffer can never be returned to the pool")
+					continue
+				}
+				obj := info.ObjectOf(id)
+				if obj == nil || !declaredWithin(obj, body) {
+					continue // package-level or parameter rebinding: out of scope
+				}
+				if _, seen := acquired[obj]; !seen {
+					acquired[obj] = call.Pos()
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok &&
+				isPkgFunc(info, call, blockdevPath, "GetBlock") {
+				pass.Reportf(call.Pos(),
+					"blockdev.GetBlock() result discarded: the buffer can never be returned to the pool")
+			}
+		}
+		return true
+	})
+	if len(acquired) == 0 {
+		return
+	}
+
+	// Pass 2: discharge obligations.
+	discharged := map[types.Object]bool{}
+	refersTo := func(e ast.Expr, obj types.Object) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !isPkgFunc(info, n, blockdevPath, "PutBlock") {
+				return true
+			}
+			for _, arg := range n.Args {
+				if obj := baseIdentObj(info, arg); obj != nil {
+					discharged[obj] = true
+				}
+			}
+		case *ast.AssignStmt:
+			// A store through a field, element, dereference, or
+			// non-local variable transfers ownership of any acquired
+			// buffer the right-hand side mentions.
+			for i, lhs := range n.Lhs {
+				// Pairwise assignment, or a single multi-value RHS.
+				rhs := n.Rhs[min(i, len(n.Rhs)-1)]
+				if localPlainIdent(info, body, lhs) {
+					continue
+				}
+				for obj := range acquired {
+					if refersTo(rhs, obj) {
+						discharged[obj] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				for obj := range acquired {
+					if refersTo(res, obj) {
+						discharged[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for obj, pos := range acquired {
+		if !discharged[obj] {
+			pass.Reportf(pos,
+				"pooled buffer %s is neither returned via blockdev.PutBlock nor handed off (field store or return): the block leaks from the pool", obj.Name())
+		}
+	}
+}
+
+// localPlainIdent reports whether lhs is a bare identifier naming a
+// variable local to body — the one assignment form that does not move
+// a value anywhere an outsider could see it.
+func localPlainIdent(info *types.Info, body *ast.BlockStmt, lhs ast.Expr) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if id.Name == "_" {
+		return true
+	}
+	obj := info.ObjectOf(id)
+	return obj != nil && declaredWithin(obj, body)
+}

@@ -1,0 +1,9 @@
+package analysis
+
+import "testing"
+
+// TestPoolReturnFixture runs poolreturn over its golden fixture,
+// mounted at a core-like path (pool users live throughout internal/).
+func TestPoolReturnFixture(t *testing.T) {
+	runFixture(t, PoolReturn, "poolreturn", "icash/internal/poolreturnfixture")
+}

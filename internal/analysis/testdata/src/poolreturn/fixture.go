@@ -1,0 +1,87 @@
+// Package poolreturn exercises the pool-ownership analyzer: buffers
+// from blockdev's pool must be Put back or visibly handed off.
+package poolreturn
+
+import "icash/internal/blockdev"
+
+type holder struct {
+	buf     []byte
+	scratch [][]byte
+}
+
+// goodDeferredPut is the canonical borrow: Get, use, deferred Put.
+func goodDeferredPut() {
+	buf := blockdev.GetBlock()
+	defer blockdev.PutBlock(buf)
+	use(buf)
+}
+
+// goodDirectPut returns the buffer on every path reaching the Put.
+func goodDirectPut() {
+	buf := blockdev.GetBlock()
+	use(buf)
+	blockdev.PutBlock(buf)
+}
+
+// goodClosurePut discharges the obligation from a deferred closure —
+// the rebinding loop idiom used by the log cleaner.
+func goodClosurePut() {
+	var buf []byte
+	defer func() { blockdev.PutBlock(buf) }()
+	for i := 0; i < 3; i++ {
+		buf = blockdev.GetBlock()
+		use(buf)
+		blockdev.PutBlock(buf)
+		buf = nil
+	}
+}
+
+// goodFieldStore transfers ownership into a longer-lived struct.
+func (h *holder) goodFieldStore() {
+	b := blockdev.GetBlock()
+	h.buf = b
+}
+
+// goodDirectFieldStore is the same transfer without a local binding.
+func (h *holder) goodDirectFieldStore() {
+	h.buf = blockdev.GetBlock()
+}
+
+// goodAppendToField hands off as an operand of the stored expression.
+func (h *holder) goodAppendToField() []byte {
+	b := blockdev.GetBlock()
+	h.scratch = append(h.scratch, b)
+	return b
+}
+
+// goodReturn hands the obligation to the caller.
+func goodReturn() []byte {
+	b := blockdev.GetBlock()
+	return b
+}
+
+// badLentOnly lends the buffer but never Puts or hands it off.
+func badLentOnly() {
+	buf := blockdev.GetBlock() // want "neither returned via blockdev.PutBlock nor handed off"
+	use(buf)
+}
+
+// badDiscarded drops the result on the floor.
+func badDiscarded() {
+	blockdev.GetBlock() // want "result discarded"
+}
+
+// badBlank cannot ever name the buffer again.
+func badBlank() {
+	_ = blockdev.GetBlock() // want "result discarded"
+}
+
+// badLocalOnly shuffles the buffer between locals, which moves nothing
+// anywhere an outsider could see.
+func badLocalOnly() int {
+	b := blockdev.GetBlock() // want "neither returned via blockdev.PutBlock nor handed off"
+	c := b
+	return len(c)
+}
+
+func use([]byte) {}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"icash/internal/blockdev"
+	"icash/internal/race"
+	"icash/internal/sim"
+)
+
+// Alloc gates for the request hot path. The scratch arena and the
+// blockdev pool remove the per-I/O 4 KB buffer churn; what remains is
+// the documented allocation floor (DESIGN.md §11, EXPERIMENTS.md):
+//
+//   - RAM-hit reads: zero steady-state heap allocations;
+//   - delta writes: the retained delta bytes themselves (delta.Encode's
+//     output lives on as v.deltaRAM until the block is evicted) plus
+//     bookkeeping that grows with the working set (dirty queue, log
+//     metadata, map growth) — a handful of objects, not buffers.
+//
+// Run by the CI alloc-gate step; skipped under -race, whose
+// instrumentation adds allocations.
+
+func TestAllocGateReadRAMHit(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	rig := newTestRig(t, smallConfig())
+	c := rig.c
+	buf := make([]byte, blockdev.BlockSize)
+	content := genContent(sim.NewRand(77), 1, 0.02)
+	if _, err := c.WriteBlock(7, content); err != nil {
+		t.Fatal(err)
+	}
+	// Warm: the block is cached in RAM; steady-state reads must not
+	// allocate at all. Interleave away from periodic boundaries by
+	// measuring many runs — the scan/flush cadence allocates, but the
+	// amortized count over 100 runs still lands well under 1 when the
+	// per-read cost is zero.
+	if _, err := c.ReadBlock(7, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(100, func() {
+		if _, err := c.ReadBlock(7, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got >= 1 {
+		t.Fatalf("RAM-hit ReadBlock allocated %v objects/op, want amortized < 1", got)
+	}
+}
+
+// BenchmarkReadRAMHit and BenchmarkWriteDelta report the per-request
+// allocation counts the gates above assert; their allocs/op columns are
+// the record EXPERIMENTS.md's engine-performance appendix quotes.
+
+func BenchmarkReadRAMHit(b *testing.B) {
+	rig := newTestRig(b, smallConfig())
+	c := rig.c
+	buf := make([]byte, blockdev.BlockSize)
+	content := genContent(sim.NewRand(77), 1, 0.02)
+	if _, err := c.WriteBlock(7, content); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ReadBlock(7, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteDelta(b *testing.B) {
+	rig := newTestRig(b, smallConfig())
+	c := rig.c
+	base := genContent(sim.NewRand(88), 2, 0)
+	if _, err := c.WriteBlock(9, base); err != nil {
+		b.Fatal(err)
+	}
+	r := sim.NewRand(99)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base[r.Intn(len(base))] = byte(r.Uint64())
+		if _, err := c.WriteBlock(9, base); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestAllocGateWriteDeltaFloor(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	rig := newTestRig(t, smallConfig())
+	c := rig.c
+	base := genContent(sim.NewRand(88), 2, 0)
+	if _, err := c.WriteBlock(9, base); err != nil {
+		t.Fatal(err)
+	}
+	// Small mutations of one block: every write re-derives a delta, so
+	// the floor is the retained delta buffer (delta.Encode output) plus
+	// amortized queue/log bookkeeping. Gate it at a small constant so a
+	// regression back to fresh-4KB-buffers-per-I/O (several buffers per
+	// op before this pool existed) fails loudly.
+	r := sim.NewRand(99)
+	i := 0
+	got := testing.AllocsPerRun(200, func() {
+		base[r.Intn(len(base))] = byte(r.Uint64())
+		i++
+		if _, err := c.WriteBlock(9, base); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 8 {
+		t.Fatalf("delta WriteBlock allocated %v objects/op, want <= 8 (retained delta + bookkeeping)", got)
+	}
+}

@@ -120,6 +120,11 @@ type Controller struct {
 	// budget pressure can never drop the in-flight request's state.
 	pinned *vblock
 
+	// scratch holds the pooled buffers handed out by getScratch during
+	// the current host request; recycled wholesale at the next request
+	// entry (see scratch.go).
+	scratch [][]byte
+
 	// Stats is externally visible accounting.
 	Stats Stats
 }
@@ -224,7 +229,10 @@ func (c *Controller) getOrLoad(lba int64, forWrite bool) (*vblock, sim.Duration,
 	v := &vblock{lba: lba, hddHome: true}
 	var lat sim.Duration
 	if !forWrite {
-		buf := make([]byte, blockdev.BlockSize)
+		// Pooled: cacheData copies and sig.Compute only reads, so the
+		// buffer is dead by the time the deferred Put runs.
+		buf := blockdev.GetBlock()
+		defer blockdev.PutBlock(buf)
 		d, err := c.hddRead(lba, buf)
 		if err != nil {
 			return nil, 0, fmt.Errorf("core: home read lba %d: %w", lba, err)
@@ -302,16 +310,23 @@ func (c *Controller) cacheData(v *vblock, content []byte, dirty bool) error {
 				return nil
 			}
 		}
-		v.dataRAM = make([]byte, blockdev.BlockSize)
+		// Pooled: releaseData is the matching Put. The copy below fully
+		// overwrites whatever the recycled buffer held.
+		v.dataRAM = blockdev.GetBlock()
 	}
 	copy(v.dataRAM, content)
 	v.dataDirty = dirty
 	return nil
 }
 
-// releaseData drops v's RAM data block (caller handles dirtiness).
+// releaseData drops v's RAM data block (caller handles dirtiness) and
+// returns the pooled buffer. Callers guarantee no slice aliasing
+// v.dataRAM is used after this point — the only materialize outputs
+// that alias it belong to the current request, and every release site
+// runs after that content has been consumed.
 func (c *Controller) releaseData(v *vblock) {
 	if v.dataRAM != nil {
+		blockdev.PutBlock(v.dataRAM)
 		v.dataRAM = nil
 		c.dataBudget.Release(blockdev.BlockSize)
 	}

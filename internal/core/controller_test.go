@@ -18,7 +18,7 @@ type testRig struct {
 	clock *sim.Clock
 }
 
-func newTestRig(t *testing.T, cfg Config) *testRig {
+func newTestRig(t testing.TB, cfg Config) *testRig {
 	t.Helper()
 	clock := sim.NewClock()
 	cpu := cpumodel.NewAccountant(clock)

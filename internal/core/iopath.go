@@ -99,7 +99,7 @@ func (c *Controller) materialize(v *vblock, background bool) ([]byte, sim.Durati
 			}
 			enc = enc2
 		}
-		content, err := delta.Decode(base, enc)
+		content, err := delta.AppendDecode(c.getScratch()[:0], base, enc)
 		if err != nil {
 			return nil, 0, path, fmt.Errorf("core: lba %d: %w", v.lba, err)
 		}
@@ -111,7 +111,7 @@ func (c *Controller) materialize(v *vblock, background bool) ([]byte, sim.Durati
 		return content, lat, path, nil
 	}
 	if v.hddHome {
-		buf := make([]byte, blockdev.BlockSize)
+		buf := c.getScratch()
 		d, err := c.hddRead(v.lba, buf)
 		if err != nil {
 			return nil, 0, pathHome, fmt.Errorf("core: home read lba %d: %w", v.lba, err)
@@ -132,7 +132,9 @@ func (c *Controller) deltaFromLog(lba int64) ([]byte, error) {
 	if !ok || rec.kind != entryDelta {
 		return nil, fmt.Errorf("core: lba %d: no durable delta record", lba)
 	}
-	buf := make([]byte, blockdev.BlockSize)
+	// Pooled: decodeLogBlock copies every entry's delta bytes out.
+	buf := blockdev.GetBlock()
+	defer blockdev.PutBlock(buf)
 	d, err := c.hddRead(c.cfg.VirtualBlocks+rec.block, buf)
 	if err != nil {
 		return nil, err
@@ -159,6 +161,7 @@ func (c *Controller) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
 	if err := blockdev.CheckBuffer(buf); err != nil {
 		return 0, err
 	}
+	c.recycleScratch() // previous request's scratch buffers are dead now
 	if err := c.periodic(); err != nil {
 		// Whole-SSD loss surfacing from background work (scan, flush)
 		// degrades the array but does not fail the host request.
@@ -228,6 +231,7 @@ func (c *Controller) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
 	if err := blockdev.CheckBuffer(buf); err != nil {
 		return 0, err
 	}
+	c.recycleScratch()
 	if err := c.periodic(); err != nil {
 		if !c.maybeDegradeSSD(err) {
 			return 0, err

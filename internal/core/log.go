@@ -234,7 +234,10 @@ func (c *Controller) flushDeltas() error {
 	}
 	c.Stats.FlushRuns++
 
-	buf := make([]byte, blockdev.BlockSize)
+	// Pooled pack buffer: encodeLogBlock fully overwrites it and the
+	// device copies it, so nothing aliases it past the defer.
+	buf := blockdev.GetBlock()
+	defer blockdev.PutBlock(buf)
 	guard := 4 * c.cfg.LogBlocks // progress guard against a too-small log
 	for len(pending) > 0 {
 		if guard--; guard < 0 {
@@ -369,11 +372,14 @@ func (c *Controller) cleanLogBlock(b int64) ([]logEntry, error) {
 	}
 	var rescued []logEntry
 	var blockData []byte // lazily read only if delta bytes are needed
+	// Pooled: decodeLogBlock copies delta bytes out, so the rescued
+	// entries never alias blockData and the Put below is safe.
+	defer func() { blockdev.PutBlock(blockData) }()
 	readBlock := func() error {
 		if blockData != nil {
 			return nil
 		}
-		blockData = make([]byte, blockdev.BlockSize)
+		blockData = blockdev.GetBlock()
 		d, err := c.hddRead(c.cfg.VirtualBlocks+b, blockData)
 		if err != nil {
 			return fmt.Errorf("core: log clean read: %w", err)
@@ -535,7 +541,9 @@ func decodeLogBlock(buf []byte) ([]logEntry, error) {
 // delta in it is prefetched into RAM — the paper's "one HDD operation
 // yields many I/Os" effect. Returns the synchronous latency.
 func (c *Controller) loadDeltaBlock(b int64) (sim.Duration, error) {
-	buf := make([]byte, blockdev.BlockSize)
+	// Pooled: decodeLogBlock copies delta bytes out before the Put.
+	buf := blockdev.GetBlock()
+	defer blockdev.PutBlock(buf)
 	d, err := c.hddRead(c.cfg.VirtualBlocks+b, buf)
 	if err != nil {
 		return 0, fmt.Errorf("core: log read: %w", err)
@@ -571,6 +579,7 @@ func (c *Controller) loadDeltaBlock(b int64) (sim.Duration, error) {
 // write-through slots gain home backups. After Flush, a crash loses
 // nothing.
 func (c *Controller) Flush() error {
+	c.recycleScratch() // request boundary: prior scratch is dead
 	for v := c.lru.head; v != nil; v = v.next {
 		if v.dataDirty && v.dataRAM != nil {
 			if err := c.writeHome(v, v.dataRAM); err != nil {

@@ -363,7 +363,7 @@ func (c *Controller) hedgeBackup(s *refSlot) ([]byte, sim.Duration, bool) {
 	if s.homeLBA < 0 {
 		return nil, 0, false
 	}
-	buf := make([]byte, blockdev.BlockSize)
+	buf := c.getScratch()
 	d, err := c.hddRead(s.homeLBA, buf)
 	if err != nil || contentCRC(buf) != s.crc {
 		if err == nil {

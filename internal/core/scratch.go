@@ -1,0 +1,37 @@
+package core
+
+import "icash/internal/blockdev"
+
+// Request-scoped scratch arena. Hot paths that need a transient 4 KB
+// buffer whose lifetime is "the rest of this host request" — slot
+// content reads, home reads inside materialize, delta decode output —
+// draw from here instead of allocating. The arena owns every buffer it
+// hands out: callers never Put, they simply let the slice go out of
+// scope, and the next host request's entry point recycles the whole
+// arena back to the blockdev pool in one sweep.
+//
+// This shape exists because materialize/slotContent callers cannot tell
+// a pooled scratch buffer from long-lived cached RAM (both flow through
+// the same "returned slice must not be retained" contract), so per-call
+// Put would be unsound. Deferring the Put to the next request boundary
+// makes it sound: by then every slice derived from the arena is dead.
+// See DESIGN.md §11 for the full ownership rules.
+
+// getScratch returns a BlockSize buffer with arbitrary contents, valid
+// until the next recycleScratch (i.e. the next host request entry).
+func (c *Controller) getScratch() []byte {
+	b := blockdev.GetBlock()
+	c.scratch = append(c.scratch, b)
+	return b
+}
+
+// recycleScratch returns every outstanding scratch buffer to the pool.
+// Called only at host-request entry points (ReadBlock, WriteBlock,
+// Flush), when no slice from the previous request can still be live.
+func (c *Controller) recycleScratch() {
+	for i, b := range c.scratch {
+		blockdev.PutBlock(b)
+		c.scratch[i] = nil
+	}
+	c.scratch = c.scratch[:0]
+}

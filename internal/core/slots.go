@@ -197,7 +197,7 @@ func (c *Controller) slotContent(s *refSlot, background bool) ([]byte, sim.Durat
 			}
 		}
 	}
-	buf := make([]byte, blockdev.BlockSize)
+	buf := c.getScratch()
 	d, err := c.ssdRead(s.index, buf)
 	if err != nil {
 		if blockdev.Classify(err) == blockdev.ClassMedia {

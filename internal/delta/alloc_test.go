@@ -1,0 +1,99 @@
+package delta
+
+import (
+	"testing"
+
+	"icash/internal/race"
+)
+
+// Alloc gates: the append-style APIs must be zero-allocation at steady
+// state (caller-supplied buffers with sufficient capacity), and Size
+// must allocate nothing ever. Run by the CI alloc-gate step; skipped
+// under the race detector, whose instrumentation adds allocations.
+
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+}
+
+func TestAllocGateAppendEncode(t *testing.T) {
+	skipIfRace(t)
+	target, ref := randomPair(21, 4096, 64)
+	dst := make([]byte, 0, 8192)
+	if got := testing.AllocsPerRun(100, func() {
+		var ok bool
+		dst, ok = AppendEncode(dst[:0], target, ref, 0)
+		if !ok {
+			t.Fatal("AppendEncode failed")
+		}
+	}); got != 0 {
+		t.Fatalf("AppendEncode allocated %v objects/op, want 0", got)
+	}
+}
+
+func TestAllocGateAppendDecode(t *testing.T) {
+	skipIfRace(t)
+	target, ref := randomPair(22, 4096, 64)
+	d, ok := Encode(target, ref, 0)
+	if !ok {
+		t.Fatal("Encode failed")
+	}
+	dst := make([]byte, 0, 8192)
+	if got := testing.AllocsPerRun(100, func() {
+		var err error
+		dst, err = AppendDecode(dst[:0], ref, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Fatalf("AppendDecode allocated %v objects/op, want 0", got)
+	}
+}
+
+func TestAllocGateSize(t *testing.T) {
+	skipIfRace(t)
+	target, ref := randomPair(23, 4096, 64)
+	if got := testing.AllocsPerRun(100, func() {
+		if Size(target, ref) <= 0 {
+			t.Fatal("Size returned nonsense")
+		}
+	}); got != 0 {
+		t.Fatalf("Size allocated %v objects/op, want 0", got)
+	}
+}
+
+func BenchmarkAppendEncode(b *testing.B) {
+	target, ref := randomPair(24, 4096, 64)
+	dst := make([]byte, 0, 8192)
+	b.ReportAllocs()
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		dst, _ = AppendEncode(dst[:0], target, ref, 0)
+	}
+	_ = dst
+}
+
+func BenchmarkAppendDecode(b *testing.B) {
+	target, ref := randomPair(25, 4096, 64)
+	d, _ := Encode(target, ref, 0)
+	dst := make([]byte, 0, 8192)
+	b.ReportAllocs()
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		dst, _ = AppendDecode(dst[:0], ref, d)
+	}
+	_ = dst
+}
+
+func BenchmarkSize(b *testing.B) {
+	target, ref := randomPair(26, 4096, 64)
+	b.ReportAllocs()
+	b.SetBytes(4096)
+	var s int
+	for i := 0; i < b.N; i++ {
+		s = Size(target, ref)
+	}
+	_ = s
+}

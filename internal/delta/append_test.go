@@ -1,0 +1,141 @@
+package delta
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"icash/internal/sim"
+)
+
+// randomPair builds a reference block and a target mutated from it —
+// the workload shape the encoder is designed for.
+func randomPair(seed uint64, n, nMut int) (target, ref []byte) {
+	ref = make([]byte, n)
+	sim.NewRand(seed).Bytes(ref)
+	target = append([]byte(nil), ref...)
+	r := sim.NewRand(seed + 1)
+	for i := 0; i < nMut && n > 0; i++ {
+		target[r.Intn(n)] = byte(r.Uint64())
+	}
+	return target, ref
+}
+
+// Property: Size is a genuine counting twin of Encode — byte-for-byte
+// agreement with len(Encode(t, r, 0)) across random pairs, including
+// mismatched lengths.
+func TestSizeMatchesEncodeProperty(t *testing.T) {
+	f := func(seed uint64, length uint16, nMut uint8, refCut uint8) bool {
+		n := int(length)%5000 + 1
+		target, ref := randomPair(seed, n, int(nMut))
+		// Exercise ref shorter and longer than target.
+		ref = ref[:n-int(refCut)%n]
+		d, ok := Encode(target, ref, 0)
+		if !ok {
+			return false
+		}
+		return Size(target, ref) == len(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate shapes the quick generator may miss.
+	for _, tc := range [][2][]byte{
+		{nil, nil},
+		{nil, []byte("ref")},
+		{[]byte("target"), nil},
+		{bytes.Repeat([]byte{7}, 4096), bytes.Repeat([]byte{7}, 4096)},
+	} {
+		d, _ := Encode(tc[0], tc[1], 0)
+		if got := Size(tc[0], tc[1]); got != len(d) {
+			t.Fatalf("Size(%d,%d bytes) = %d, Encode produced %d",
+				len(tc[0]), len(tc[1]), got, len(d))
+		}
+	}
+}
+
+// AppendEncode into a prefixed buffer must produce exactly Encode's
+// bytes after the prefix, and a maxSize rejection must hand the buffer
+// back at its original length.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	target, ref := randomPair(11, 4096, 64)
+	want, ok := Encode(target, ref, 0)
+	if !ok {
+		t.Fatal("Encode failed")
+	}
+
+	prefix := []byte("prefix")
+	dst := append([]byte(nil), prefix...)
+	got, ok := AppendEncode(dst, target, ref, 0)
+	if !ok {
+		t.Fatal("AppendEncode failed")
+	}
+	if !bytes.Equal(got[:len(prefix)], prefix) {
+		t.Fatal("AppendEncode clobbered dst prefix")
+	}
+	if !bytes.Equal(got[len(prefix):], want) {
+		t.Fatal("AppendEncode bytes differ from Encode")
+	}
+
+	// Rejection: the bound applies to the appended delta only, and dst
+	// comes back at its original length.
+	if rej, ok := AppendEncode(append([]byte(nil), prefix...), target, ref, len(want)-1); ok {
+		t.Fatal("AppendEncode must reject when the delta exceeds maxSize")
+	} else if len(rej) != len(prefix) {
+		t.Fatalf("rejected AppendEncode returned len %d, want original %d", len(rej), len(prefix))
+	}
+	if acc, ok := AppendEncode(append([]byte(nil), prefix...), target, ref, len(want)); !ok {
+		t.Fatal("AppendEncode must accept at exactly maxSize")
+	} else if !bytes.Equal(acc[len(prefix):], want) {
+		t.Fatal("AppendEncode at exact bound differs from Encode")
+	}
+}
+
+// AppendDecode into a prefixed buffer must append exactly the target,
+// and errors must hand the buffer back at its original length.
+func TestAppendDecodeMatchesDecode(t *testing.T) {
+	target, ref := randomPair(12, 4096, 64)
+	d, ok := Encode(target, ref, 0)
+	if !ok {
+		t.Fatal("Encode failed")
+	}
+
+	prefix := []byte("prefix")
+	got, err := AppendDecode(append([]byte(nil), prefix...), ref, d)
+	if err != nil {
+		t.Fatalf("AppendDecode: %v", err)
+	}
+	if !bytes.Equal(got[:len(prefix)], prefix) {
+		t.Fatal("AppendDecode clobbered dst prefix")
+	}
+	if !bytes.Equal(got[len(prefix):], target) {
+		t.Fatal("AppendDecode bytes differ from target")
+	}
+
+	bad, err := AppendDecode(append([]byte(nil), prefix...), ref, d[:len(d)/2])
+	if err == nil {
+		t.Fatal("truncated delta must error")
+	}
+	if len(bad) != len(prefix) {
+		t.Fatalf("failed AppendDecode returned len %d, want original %d", len(bad), len(prefix))
+	}
+}
+
+// A corrupt delta advertising an enormous target length must fail
+// without allocating anything like the advertised size: the prealloc
+// is clamped and growth only follows validated ops.
+func TestDecodeHugeLengthClamped(t *testing.T) {
+	// Header + uvarint(2^62) and no ops at all.
+	hostile := []byte{magic, version,
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x40}
+	allocated := testing.AllocsPerRun(10, func() {
+		if _, err := Decode(nil, hostile); err == nil {
+			t.Error("hostile huge-length delta must not decode")
+		}
+	})
+	// The exact count covers the clamped output buffer plus the error
+	// chain — the point is it is O(1), not O(advertised length).
+	if allocated > 8 {
+		t.Fatalf("hostile decode allocated %v objects per run; prealloc clamp lost", allocated)
+	}
+}

@@ -21,6 +21,12 @@
 // A delta for identical blocks is just the header plus one COPY, a few
 // bytes; a delta for unrelated blocks degenerates to header + one ADD of
 // the whole block, which callers reject via the maxSize bound.
+//
+// The allocating entry points (Encode, Decode) are thin wrappers over
+// append-style workers (AppendEncode, AppendDecode) so hot paths can
+// reuse caller-owned buffers and run allocation-free; Size is a true
+// counting pass sharing the encoder's segmentation, never materializing
+// the delta.
 package delta
 
 import (
@@ -39,6 +45,13 @@ const (
 	// back to COPY. A COPY/ADD boundary costs ~2 varint bytes, so gaps
 	// shorter than this are cheaper left inside the literal.
 	minGap = 4
+
+	// maxDecodePrealloc caps how much Decode pre-allocates on the
+	// strength of the delta's own (untrusted) target-length varint:
+	// 4× the 4 KB block size this repo traffics in. Larger targets
+	// still decode — the output simply grows as ops are validated —
+	// but a corrupt length can no longer demand gigabytes up front.
+	maxDecodePrealloc = 4 * 4096
 )
 
 // Errors returned by Decode.
@@ -47,20 +60,57 @@ var (
 	ErrShortRef = errors.New("delta: reference shorter than delta requires")
 )
 
-// Encode produces the delta that rebuilds target from ref. If the
-// encoded size would exceed maxSize, encoding aborts and ok is false —
-// the caller should then store the block verbatim instead (the paper
-// uses a 2048-byte threshold, §5.3). maxSize <= 0 means unbounded.
+// nextOps measures the next COPY/ADD pair of the canonical segmentation
+// starting at offset i. It is the single source of truth shared by
+// AppendEncode and Size: both walk exactly this sequence of ops, so the
+// counted size and the materialized bytes cannot diverge.
+//
+// n is len(target); limit is min(len(ref), n).
+func nextOps(target, ref []byte, i, n, limit int) (copyLen, addLen, next int) {
+	// Measure the COPY run: equal bytes at the same offset.
+	start := i
+	for i < limit && target[i] == ref[i] {
+		i++
+	}
+	copyLen = i - start
+	// Measure the ADD run: unequal bytes, absorbing short equal gaps.
+	addStart := i
+	for i < n {
+		if i >= limit {
+			i = n
+			break
+		}
+		if target[i] != ref[i] {
+			i++
+			continue
+		}
+		// Equal byte: only end the ADD if the equal run is long
+		// enough to pay for an op boundary.
+		g := i
+		for g < limit && g-i < minGap && target[g] == ref[g] {
+			g++
+		}
+		if g-i >= minGap || g == n {
+			break
+		}
+		i = g + 1 // absorb the short gap into the literal
+	}
+	return copyLen, i - addStart, i
+}
+
+// AppendEncode appends the delta that rebuilds target from ref to dst
+// and returns the extended slice. If the encoded delta (excluding dst's
+// prior contents) would exceed maxSize, encoding aborts and ok is false
+// with dst returned at its original length — the caller should then
+// store the block verbatim instead (the paper uses a 2048-byte
+// threshold, §5.3). maxSize <= 0 means unbounded.
 //
 // target and ref may have different lengths; bytes beyond len(ref) are
-// always literals.
-func Encode(target, ref []byte, maxSize int) (d []byte, ok bool) {
-	bound := maxSize
-	if bound <= 0 {
-		bound = len(target) + len(target)/2 + 16
-	}
-	out := make([]byte, 0, min(bound, len(target)/4+16))
-	out = append(out, magic, version)
+// always literals. With sufficient capacity in dst, AppendEncode
+// performs no allocations.
+func AppendEncode(dst, target, ref []byte, maxSize int) (d []byte, ok bool) {
+	base := len(dst)
+	out := append(dst, magic, version)
 	out = binary.AppendUvarint(out, uint64(len(target)))
 
 	n := len(target)
@@ -70,101 +120,121 @@ func Encode(target, ref []byte, maxSize int) (d []byte, ok bool) {
 	}
 	i := 0
 	for i < n {
-		// Measure the COPY run: equal bytes at the same offset.
-		start := i
-		for i < limit && target[i] == ref[i] {
-			i++
-		}
-		copyLen := i - start
-		// Measure the ADD run: unequal bytes, absorbing short equal gaps.
-		addStart := i
-		for i < n {
-			if i >= limit {
-				i = n
-				break
-			}
-			if target[i] != ref[i] {
-				i++
-				continue
-			}
-			// Equal byte: only end the ADD if the equal run is long
-			// enough to pay for an op boundary.
-			g := i
-			for g < limit && g-i < minGap && target[g] == ref[g] {
-				g++
-			}
-			if g-i >= minGap || g == n {
-				break
-			}
-			i = g + 1 // absorb the short gap into the literal
-		}
-		addLen := i - addStart
+		copyLen, addLen, next := nextOps(target, ref, i, n, limit)
+		addStart := next - addLen
+		i = next
 		out = binary.AppendUvarint(out, uint64(copyLen))
 		out = binary.AppendUvarint(out, uint64(addLen))
 		out = append(out, target[addStart:addStart+addLen]...)
-		if maxSize > 0 && len(out) > maxSize {
-			return nil, false
+		if maxSize > 0 && len(out)-base > maxSize {
+			return dst[:base], false
 		}
 	}
-	if maxSize > 0 && len(out) > maxSize {
+	if maxSize > 0 && len(out)-base > maxSize {
+		return dst[:base], false
+	}
+	return out, true
+}
+
+// Encode produces the delta that rebuilds target from ref. If the
+// encoded size would exceed maxSize, encoding aborts and ok is false —
+// the caller should then store the block verbatim instead. It is a
+// thin allocating wrapper around AppendEncode.
+func Encode(target, ref []byte, maxSize int) (d []byte, ok bool) {
+	bound := maxSize
+	if bound <= 0 {
+		bound = len(target) + len(target)/2 + 16
+	}
+	out, ok := AppendEncode(make([]byte, 0, min(bound, len(target)/4+16)), target, ref, maxSize)
+	if !ok {
 		return nil, false
 	}
 	return out, true
 }
 
-// Decode rebuilds the target block from ref and a delta produced by
-// Encode.
-func Decode(ref, d []byte) ([]byte, error) {
+// AppendDecode appends the target block rebuilt from ref and a delta
+// produced by Encode to dst and returns the extended slice. On error
+// dst is returned at its original length. With sufficient capacity in
+// dst, AppendDecode performs no allocations.
+func AppendDecode(dst, ref, d []byte) ([]byte, error) {
+	base := len(dst)
 	if len(d) < headerSize || d[0] != magic || d[1] != version {
-		return nil, fmt.Errorf("%w: bad header", ErrCorrupt)
+		return dst[:base], fmt.Errorf("%w: bad header", ErrCorrupt)
 	}
 	p := d[headerSize:]
 	targetLen, k := binary.Uvarint(p)
 	if k <= 0 {
-		return nil, fmt.Errorf("%w: bad length", ErrCorrupt)
+		return dst[:base], fmt.Errorf("%w: bad length", ErrCorrupt)
 	}
 	p = p[k:]
-	out := make([]byte, 0, targetLen)
-	for uint64(len(out)) < targetLen {
+	out := dst
+	for uint64(len(out)-base) < targetLen {
 		copyLen, k := binary.Uvarint(p)
 		if k <= 0 {
-			return nil, fmt.Errorf("%w: bad copy length", ErrCorrupt)
+			return dst[:base], fmt.Errorf("%w: bad copy length", ErrCorrupt)
 		}
 		p = p[k:]
 		addLen, k := binary.Uvarint(p)
 		if k <= 0 {
-			return nil, fmt.Errorf("%w: bad add length", ErrCorrupt)
+			return dst[:base], fmt.Errorf("%w: bad add length", ErrCorrupt)
 		}
 		p = p[k:]
+		pos := len(out) - base
 		if copyLen > 0 {
-			end := len(out) + int(copyLen)
-			if end > len(ref) || uint64(end) > targetLen {
-				return nil, ErrShortRef
+			end := pos + int(copyLen)
+			if end < pos || end > len(ref) || uint64(end) > targetLen {
+				return dst[:base], ErrShortRef
 			}
-			out = append(out, ref[len(out):end]...)
+			out = append(out, ref[pos:end]...)
+			pos = end
 		}
 		if addLen > 0 {
-			if uint64(addLen) > uint64(len(p)) || uint64(len(out))+addLen > targetLen {
-				return nil, fmt.Errorf("%w: literal overruns", ErrCorrupt)
+			if uint64(addLen) > uint64(len(p)) || uint64(pos)+addLen > targetLen {
+				return dst[:base], fmt.Errorf("%w: literal overruns", ErrCorrupt)
 			}
 			out = append(out, p[:addLen]...)
 			p = p[addLen:]
 		}
-		if copyLen == 0 && addLen == 0 && uint64(len(out)) < targetLen {
-			return nil, fmt.Errorf("%w: zero-progress op", ErrCorrupt)
+		if copyLen == 0 && addLen == 0 && uint64(len(out)-base) < targetLen {
+			return dst[:base], fmt.Errorf("%w: zero-progress op", ErrCorrupt)
 		}
 	}
 	if len(p) != 0 {
-		return nil, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+		return dst[:base], fmt.Errorf("%w: trailing bytes", ErrCorrupt)
 	}
 	return out, nil
 }
 
+// Decode rebuilds the target block from ref and a delta produced by
+// Encode. It is a thin allocating wrapper around AppendDecode; the
+// initial allocation is clamped to maxDecodePrealloc so a corrupt
+// length varint cannot trigger an over-allocation before any op has
+// been validated.
+func Decode(ref, d []byte) ([]byte, error) {
+	capHint := 0
+	if n, err := TargetLen(d); err == nil && n > 0 {
+		capHint = min(n, maxDecodePrealloc)
+	}
+	return AppendDecode(make([]byte, 0, capHint), ref, d)
+}
+
 // Size returns the encoded size of the delta between target and ref
-// without materializing it (same pass as Encode, counting only).
+// without materializing it (same segmentation as Encode via nextOps,
+// counting only). Size(t, r) == len(d) for d, _ := Encode(t, r, 0),
+// and Size allocates nothing.
 func Size(target, ref []byte) int {
-	d, _ := Encode(target, ref, 0)
-	return len(d)
+	n := len(target)
+	size := headerSize + uvarintLen(uint64(n))
+	limit := len(ref)
+	if limit > n {
+		limit = n
+	}
+	for i := 0; i < n; {
+		var copyLen, addLen int
+		copyLen, addLen, i = nextOps(target, ref, i, n, limit)
+		size += uvarintLen(uint64(copyLen)) + uvarintLen(uint64(addLen)) + addLen
+	}
+	return size
 }
 
 // TargetLen reports the length of the block a delta rebuilds, without
@@ -178,6 +248,16 @@ func TargetLen(d []byte) (int, error) {
 		return 0, fmt.Errorf("%w: bad length", ErrCorrupt)
 	}
 	return int(n), nil
+}
+
+// uvarintLen reports how many bytes binary.AppendUvarint emits for x.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
 }
 
 func min(a, b int) int {

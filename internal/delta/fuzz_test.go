@@ -17,6 +17,11 @@ func FuzzDeltaRoundTrip(f *testing.F) {
 	f.Add([]byte{}, []byte("reference only"), 64)
 	f.Add([]byte("target only, no reference"), []byte{}, 0)
 	f.Add([]byte{0xD5, 0x01, 0x04, 0x00, 0x04, 1, 2, 3, 4}, []byte{9, 9, 9, 9}, 0)
+	// Hostile stream advertising a ~2^62-byte target with no ops: the
+	// decoder must clamp its pre-allocation instead of trusting the
+	// varint (a real over-allocation bug before the clamp existed).
+	f.Add([]byte{0xD5, 0x01, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x40},
+		[]byte{}, 0)
 	f.Fuzz(func(t *testing.T, target, ref []byte, maxSize int) {
 		// Bound the work per input; real callers encode 4 KB blocks.
 		if len(target) > 2*4096 {
@@ -27,6 +32,10 @@ func FuzzDeltaRoundTrip(f *testing.F) {
 		}
 		if maxSize > 1<<20 {
 			maxSize = 1 << 20
+		}
+
+		if want, ok := Encode(target, ref, 0); ok && Size(target, ref) != len(want) {
+			t.Fatalf("Size = %d disagrees with len(Encode) = %d", Size(target, ref), len(want))
 		}
 
 		d, ok := Encode(target, ref, maxSize)

@@ -319,6 +319,15 @@ func ExperimentsForBenchmark(name string) []Experiment {
 // RunExperiments executes the benchmark for the named experiment IDs
 // ("all" = every experiment), sharing one benchmark run across all the
 // figures it feeds, and returns the rendered report.
+//
+// The work is flattened into a (profile, system) grid and fanned across
+// Parallelism() workers — finer-grained than fanning whole benchmarks,
+// so a five-system SysBench run does not serialize behind one worker
+// while others idle. Rendering happens afterwards in Table4 order from
+// results gathered by grid index, so the report is byte-identical to
+// the serial harness's; on failure the report still contains every
+// benchmark that completed before (in submission order) the first
+// failing point, exactly like the historical sequential loop.
 func RunExperiments(ids []string, opts workload.Options) (string, error) {
 	want := make(map[string]bool)
 	all := len(ids) == 0
@@ -335,14 +344,65 @@ func RunExperiments(ids []string, opts workload.Options) (string, error) {
 			benchNeeded[e.Benchmark] = true
 		}
 	}
-	var b strings.Builder
+	var profiles []workload.Profile
 	for _, p := range workload.Table4() {
-		if !benchNeeded[p.Name] {
-			continue
+		if benchNeeded[p.Name] {
+			profiles = append(profiles, p)
 		}
-		br, err := RunBenchmark(p, opts, nil)
+	}
+	kinds := AllKinds()
+	cfgs := make([]BuildConfig, len(profiles))
+	for i, p := range profiles {
+		cfgs[i] = benchConfig(p, opts)
+	}
+	type gridPoint struct {
+		profile int
+		kind    Kind
+	}
+	var grid []gridPoint
+	for pi := range profiles {
+		for _, k := range kinds {
+			grid = append(grid, gridPoint{profile: pi, kind: k})
+		}
+	}
+	points := make([]pointResult, len(grid))
+	errs := make([]error, len(grid))
+	firstErr := forEachPoint(len(grid), func(i int) error {
+		g := grid[i]
+		pt, err := runPoint(profiles[g.profile], opts, cfgs[g.profile], g.kind)
 		if err != nil {
-			return b.String(), err
+			errs[i] = err
+			return err
+		}
+		points[i] = pt
+		return nil
+	})
+	// The first failing grid index (the same failure a serial loop would
+	// hit first — forEachPoint returns exactly that error) truncates the
+	// report at its benchmark's boundary.
+	failProfile := len(profiles)
+	if firstErr != nil {
+		for i, err := range errs {
+			if err != nil {
+				failProfile = grid[i].profile
+				break
+			}
+		}
+	}
+	var b strings.Builder
+	for pi, p := range profiles {
+		if pi >= failProfile {
+			break
+		}
+		br := &BenchmarkRun{Profile: p, Opts: opts, Order: kinds, Results: make(map[Kind]*Result)}
+		for gi, g := range grid {
+			if g.profile != pi {
+				continue
+			}
+			br.Results[g.kind] = points[gi].res
+			if points[gi].icash != nil {
+				br.SysICASH = points[gi].icash
+			}
 		}
 		for _, e := range ExperimentsForBenchmark(p.Name) {
 			if !all && !want[e.ID] {
@@ -353,5 +413,5 @@ func RunExperiments(ids []string, opts workload.Options) (string, error) {
 			b.WriteString("\n")
 		}
 	}
-	return b.String(), nil
+	return b.String(), firstErr
 }

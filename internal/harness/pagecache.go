@@ -84,9 +84,15 @@ func (p *pageCache) insert(lba int64) {
 		return
 	}
 	if len(p.index) >= p.capacity {
+		// Recycle the evicted entry in place of a fresh allocation: once
+		// the cache is warm, steady-state inserts allocate nothing.
 		victim := p.tail
 		p.unlink(victim)
 		delete(p.index, victim.lba)
+		victim.lba = lba
+		p.index[lba] = victim
+		p.pushFront(victim)
+		return
 	}
 	e := &pcEntry{lba: lba}
 	p.index[lba] = e

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Deterministic parallel experiment scheduler. Independent experiment
+// points — one (profile, system-kind, queue-depth) combination each —
+// share no mutable state: every point builds its own System (fresh
+// clock, devices, controller, CPU accountant) and its own workload
+// generator, and the simulation inside a point is single-threaded as
+// ever. Fanning points out across a worker pool therefore changes
+// wall-clock time only; every simulated number is produced by exactly
+// the same code on exactly the same inputs, and results are gathered
+// back in submission order. Parallel across runs, never within a run
+// (DESIGN.md §11).
+
+// parallelism is the worker count for forEachPoint; 0 means GOMAXPROCS.
+var parallelism atomic.Int32
+
+// SetParallelism sets how many experiment points may run concurrently.
+// n <= 0 restores the default (GOMAXPROCS). 1 runs every point inline
+// on the calling goroutine in submission order — byte-identical to, and
+// exactly as lazy as, the historical serial harness.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism reports the current worker count for experiment points.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachPoint runs fn(0..n-1), fanning across min(Parallelism(), n)
+// workers. Results must be gathered by index into caller-owned slices —
+// that is what keeps the output independent of completion order. The
+// returned error is the lowest-index failure (the same one a serial
+// loop would hit first), so error reporting is deterministic too. With
+// one worker the calling goroutine runs every point itself, stopping at
+// the first failure exactly like the historical loop.
+func forEachPoint(n int, fn func(int) error) error {
+	p := Parallelism()
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -88,7 +88,8 @@ type Result struct {
 // data, I-CASH has selected references, and caches hold their steady
 // working sets. Populate time and device activity are not measured.
 func Populate(sys *System, gen *workload.Generator) error {
-	buf := make([]byte, blockdev.BlockSize)
+	buf := blockdev.GetBlock()
+	defer blockdev.PutBlock(buf)
 	n := gen.DataBlocks()
 	if n > sys.Dev.Blocks() {
 		n = sys.Dev.Blocks()
@@ -155,7 +156,8 @@ func runSerial(sys *System, gen *workload.Generator) (*Result, error) {
 	pc := newPageCache(pcBlocks)
 
 	clock := sys.Clock
-	buf := make([]byte, blockdev.BlockSize)
+	buf := blockdev.GetBlock()
+	defer blockdev.PutBlock(buf)
 	start := clock.Now()
 
 	for {
@@ -285,13 +287,10 @@ type BenchmarkRun struct {
 	SysICASH *core.Controller
 }
 
-// RunBenchmark executes profile p on each requested system (all five
-// when systems is nil) with identical request streams.
-func RunBenchmark(p workload.Profile, opts workload.Options, systems []Kind) (*BenchmarkRun, error) {
-	if systems == nil {
-		systems = AllKinds()
-	}
-	br := &BenchmarkRun{Profile: p, Opts: opts, Order: systems, Results: make(map[Kind]*Result)}
+// benchConfig derives the scaled build configuration for profile p.
+// It is computed once per benchmark and shared read-only by every
+// (profile, system) point.
+func benchConfig(p workload.Profile, opts workload.Options) BuildConfig {
 	gen := workload.NewGenerator(p, opts)
 	scale := float64(gen.DataBlocks()) / float64(p.DataBlocks())
 	cfg := BuildConfig{
@@ -311,23 +310,64 @@ func RunBenchmark(p workload.Profile, opts workload.Options, systems []Kind) (*B
 		cfg.VMImageBlocks = gen.ImageBlocks()
 	}
 	cfg.Tune = opts.TuneICASH
-	for _, k := range systems {
-		sys, err := Build(k, cfg)
+	return cfg
+}
+
+// pointResult is the output of one independent experiment point.
+type pointResult struct {
+	res   *Result
+	icash *core.Controller
+}
+
+// runPoint executes one (profile, system) point in full isolation: a
+// fresh system build and a fresh workload generator, so concurrent
+// points share nothing mutable. A fresh generator is equivalent to the
+// historical shared-generator-plus-Reset pattern (NewGenerator is
+// Reset), so the simulated numbers are bit-identical either way.
+func runPoint(p workload.Profile, opts workload.Options, cfg BuildConfig, k Kind) (pointResult, error) {
+	sys, err := Build(k, cfg)
+	if err != nil {
+		return pointResult{}, err
+	}
+	gen := workload.NewGenerator(p, opts)
+	sys.SetFill(gen.Fill)
+	if err := Populate(sys, gen); err != nil {
+		return pointResult{}, fmt.Errorf("harness: %s on %s: %w", p.Name, k, err)
+	}
+	res, err := Run(sys, gen)
+	if err != nil {
+		return pointResult{}, fmt.Errorf("harness: %s on %s: %w", p.Name, k, err)
+	}
+	return pointResult{res: res, icash: sys.ICASH}, nil
+}
+
+// RunBenchmark executes profile p on each requested system (all five
+// when systems is nil) with identical request streams. The per-system
+// points are independent and fan across Parallelism() workers; results
+// are gathered in the systems' submission order, so the BenchmarkRun is
+// identical whatever the worker count.
+func RunBenchmark(p workload.Profile, opts workload.Options, systems []Kind) (*BenchmarkRun, error) {
+	if systems == nil {
+		systems = AllKinds()
+	}
+	br := &BenchmarkRun{Profile: p, Opts: opts, Order: systems, Results: make(map[Kind]*Result)}
+	cfg := benchConfig(p, opts)
+	points := make([]pointResult, len(systems))
+	err := forEachPoint(len(systems), func(i int) error {
+		pt, err := runPoint(p, opts, cfg, systems[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		gen.Reset()
-		sys.SetFill(gen.Fill)
-		if err := Populate(sys, gen); err != nil {
-			return nil, fmt.Errorf("harness: %s on %s: %w", p.Name, k, err)
-		}
-		res, err := Run(sys, gen)
-		if err != nil {
-			return nil, fmt.Errorf("harness: %s on %s: %w", p.Name, k, err)
-		}
-		br.Results[k] = res
-		if sys.ICASH != nil {
-			br.SysICASH = sys.ICASH
+		points[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range systems {
+		br.Results[k] = points[i].res
+		if points[i].icash != nil {
+			br.SysICASH = points[i].icash
 		}
 	}
 	return br, nil

@@ -33,15 +33,29 @@ func QDSweep(depths []int, opts workload.Options) (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "=== qdsweep: %s on RAID0 (scale %.5f, %d ops) ===\n",
 		p.Name, opts.Scale, opts.MaxOps)
-	base := 0.0
-	for _, qd := range depths {
+	// Depths are independent points: fan them across Parallelism()
+	// workers and render in submission order, so the table (including
+	// the speedup column, normalized to the first depth) is byte-for-
+	// byte what the serial sweep prints.
+	runs := make([]*BenchmarkRun, len(depths))
+	var firstErr error
+	err := forEachPoint(len(depths), func(i int) error {
 		o := opts
-		o.QueueDepth = qd
+		o.QueueDepth = depths[i]
 		br, err := RunBenchmark(p, o, []Kind{RAID0})
 		if err != nil {
-			return b.String(), err
+			return err
 		}
-		r := br.Results[RAID0]
+		runs[i] = br
+		return nil
+	})
+	base := 0.0
+	for i, qd := range depths {
+		if runs[i] == nil {
+			firstErr = err
+			break
+		}
+		r := runs[i].Results[RAID0]
 		if base == 0 {
 			base = r.ReqPerSec
 		}
@@ -49,5 +63,5 @@ func QDSweep(depths []int, opts workload.Options) (string, error) {
 			qd, r.ReqPerSec, r.ReqPerSec/base, r.Elapsed)
 		b.WriteString(metrics.FormatStations(r.Stations, "  ", true))
 	}
-	return b.String(), nil
+	return b.String(), firstErr
 }

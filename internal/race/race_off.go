@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package race exposes whether the binary was built with the race
+// detector, mirroring the standard library's internal/race. Alloc-gate
+// tests consult it: race instrumentation adds heap allocations, so
+// exact AllocsPerRun pins only hold in non-race builds.
+package race
+
+// Enabled reports whether the race detector is compiled in.
+const Enabled = false
