@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: help check build vet lint fmt-check test race bench bench-smoke bench-profile alloc-gate fuzz-smoke clockcheck chaos chaos-smoke examples
+.PHONY: help check build vet lint fmt-check test race bench bench-smoke bench-profile alloc-gate fuzz-smoke clockcheck chaos chaos-smoke crash-sweep examples
 
 help: ## list targets (static analysis lives in lint = icash-vet)
 	@awk -F':.*## ' '/^[a-z-]+:.*## /{printf "%-12s %s\n", $$1, $$2}' Makefile
 
-check: fmt-check vet lint build race clockcheck bench-smoke alloc-gate ## everything CI's check job runs
+check: fmt-check vet lint build race clockcheck bench-smoke alloc-gate crash-sweep ## everything CI's check job runs
 
 build: ## go build ./...
 	$(GO) build ./...
@@ -42,6 +42,10 @@ alloc-gate: ## hot-path allocation gates + allocs/op benchmarks (must run WITHOU
 fuzz-smoke: ## 10s per fuzz target, seeded from testdata corpora
 	$(GO) test ./internal/delta -fuzz FuzzDeltaRoundTrip -fuzztime 10s
 	$(GO) test ./internal/core -fuzz FuzzLogReplay -fuzztime 10s
+	$(GO) test ./internal/core -fuzz FuzzJournalReplay -fuzztime 10s
+
+crash-sweep: ## crash-point recovery sweeps (fail-stop + fail-slow, journal-audited)
+	$(GO) test -count=1 -run 'TestCrash|TestNoCrashBaseline' ./internal/fault/crashtest/
 
 clockcheck: ## sim tests with the runtime clock-ownership assertion
 	$(GO) test -tags clockcheck ./internal/sim/

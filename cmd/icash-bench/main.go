@@ -128,6 +128,7 @@ func realMain() int {
 		qd      = flag.Int("qd", 1, "outstanding requests per stream (1 = classic serial issue)")
 		vms     = flag.Bool("vms", false, "run multi-VM benchmarks as interleaved per-VM streams")
 		qdsweep = flag.Bool("qdsweep", false, "print the RAID0 random-read queue-depth scaling table and exit")
+		wsweep  = flag.Bool("wsweep", false, "print the I-CASH random-write queue-depth scaling table (group-commit batching) and exit")
 
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"experiment points to run concurrently (1 = historical serial scheduling; output is identical either way)")
@@ -188,7 +189,7 @@ func realMain() int {
 		return 0
 	}
 
-	if *qdsweep {
+	if *qdsweep || *wsweep {
 		opts := workload.Options{Seed: *seed}
 		scaleSet := false
 		flag.Visit(func(f *flag.Flag) {
@@ -199,7 +200,11 @@ func realMain() int {
 		if scaleSet {
 			opts.Scale = *scale
 		}
-		report, err := harness.QDSweep(nil, opts)
+		sweep := harness.QDSweep
+		if *wsweep {
+			sweep = harness.WriteQDSweep
+		}
+		report, err := sweep(nil, opts)
 		fmt.Print(report)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "icash-bench: %v\n", err)

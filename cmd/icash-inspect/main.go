@@ -105,6 +105,13 @@ func main() {
 	fmt.Fprintf(w, "  cleaner runs / deltas rescued\t%d / %d\n", st.LogCleanerRuns, st.DeltasRescued)
 	w.Flush()
 
+	fmt.Println("\ngroup-commit journal:")
+	fmt.Print(metrics.FormatCounters(metrics.JournalCounters(st), "  ", false))
+	if st.TxnsCommitted > 0 {
+		fmt.Printf("  avg batch %s over %d txns\n",
+			workload.ByteSize(st.GroupCommitBytes/st.TxnsCommitted), st.TxnsCommitted)
+	}
+
 	fmt.Println("\nresilience (fault handling and self-healing):")
 	if table := metrics.FormatCounters(metrics.ResilienceCounters(st), "  ", true); table != "" {
 		fmt.Print(table)

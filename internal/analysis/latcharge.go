@@ -34,14 +34,27 @@ var latChargePkgs = map[string]bool{
 	"icash/internal/raid": true,
 }
 
+// latChargeFuncs extends the obligation to named methods outside the
+// device models. The controller's journalWrite is the group-commit
+// journal's durability point: every commit-record part flows through
+// it, so a success return that skips NoteCommitWrite would hide commit
+// device time from both the background account and the journal meter.
+var latChargeFuncs = map[string]map[string]bool{
+	"icash/internal/core": {"journalWrite": true},
+}
+
 // chargeMethods are the accounting helpers that count as charging:
-// the blockdev.Stats note pair and the event-tracer station note.
+// the blockdev.Stats note pair, the event-tracer station note, and
+// the journal's commit-write meter.
 var chargeMethods = map[string]bool{
 	"NoteRead": true, "NoteWrite": true, "Note": true, "note": true,
+	"NoteCommitWrite": true,
 }
 
 func runLatCharge(pass *Pass) {
-	if !latChargePkgs[pass.Pkg.Path()] {
+	opScope := latChargePkgs[pass.Pkg.Path()]
+	named := latChargeFuncs[pass.Pkg.Path()]
+	if !opScope && named == nil {
 		return
 	}
 	for _, file := range pass.Files {
@@ -50,7 +63,8 @@ func runLatCharge(pass *Pass) {
 			if !ok || fd.Recv == nil || fd.Body == nil {
 				continue
 			}
-			if fd.Name.Name != "ReadBlock" && fd.Name.Name != "WriteBlock" {
+			obligated := opScope && (fd.Name.Name == "ReadBlock" || fd.Name.Name == "WriteBlock")
+			if !obligated && !named[fd.Name.Name] {
 				continue
 			}
 			if !isDurationErrorSig(pass, fd) {

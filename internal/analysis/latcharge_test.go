@@ -9,6 +9,14 @@ func TestLatChargeFixture(t *testing.T) {
 	runFixture(t, LatCharge, "latcharge", "icash/internal/ssd")
 }
 
+// TestLatChargeJournalWrite runs latcharge over the named-function
+// fixture mounted at the controller's path: journalWrite must charge
+// NoteCommitWrite before success, while op-method names and op-shaped
+// helpers in the same package stay exempt.
+func TestLatChargeJournalWrite(t *testing.T) {
+	runFixture(t, LatCharge, "latchargecore", "icash/internal/core")
+}
+
 // TestLatChargeOutOfScope proves op-shaped methods outside the device
 // models (e.g. the controller, whose charging flows through different
 // helpers) are not flagged by this analyzer.

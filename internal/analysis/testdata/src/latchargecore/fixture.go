@@ -1,0 +1,50 @@
+// Package fixturelatcore exercises the latcharge analyzer's named-
+// function scope. The fixture is mounted at the controller's package
+// path (internal/core), where only journalWrite carries the
+// accounting obligation — op-shaped helpers under other names stay
+// exempt.
+package fixturelatcore
+
+import (
+	"errors"
+
+	"icash/internal/sim"
+)
+
+var errBroken = errors.New("broken")
+
+// meter mirrors the slice of core.Stats the journal write path
+// charges.
+type meter struct{}
+
+func (meter) NoteCommitWrite(d sim.Duration) {}
+
+// Journal charges on its final success path but leaks an early one.
+type Journal struct {
+	Stats meter
+}
+
+func (j *Journal) journalWrite(b int64, buf []byte) (sim.Duration, error) {
+	if b < 0 {
+		return 0, errBroken // error path: charging optional, no finding
+	}
+	if b == 1 {
+		return 5 * sim.Microsecond, nil // want "journalWrite returns success without charging latency"
+	}
+	lat := 10 * sim.Microsecond
+	j.Stats.NoteCommitWrite(lat)
+	return lat, nil
+}
+
+// hddWrite has the op signature but is not an obligated name in this
+// package: helpers that compute latency for their caller to charge are
+// fine.
+func (j *Journal) hddWrite(b int64, buf []byte) (sim.Duration, error) {
+	return sim.Microsecond, nil
+}
+
+// ReadBlock is an op-method name, but the controller is not a
+// device-model package — only journalWrite is obligated here.
+func (j *Journal) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
+	return sim.Microsecond, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"icash/internal/blockdev"
+)
+
+// AuditJournal re-reads the whole delta-log region from the HDD and
+// cross-checks the on-disk journal against the controller's in-memory
+// index. It is the durability oracle's structural half: beyond "the
+// right bytes came back", it proves the transactional invariants the
+// group-commit design promises actually hold on the media.
+//
+// Checked relations:
+//   - every live logIndex record points into an on-disk transaction
+//     that is complete (all parts present, CRC-valid, commit marker
+//     seen) — atomicity: no reader-visible record can depend on a
+//     partially landed batch;
+//   - the disk block backing a live record carries the transaction id
+//     the controller's reuse bookkeeping (blockTxn) has for it, in the
+//     current epoch or an earlier one;
+//   - the record itself (lba, seq, kind) is present in that decoded
+//     block — the index never points at bytes that are not there.
+//
+// It returns the number of incomplete transactions left on the media.
+// Immediately after Recover, before any new commit reuses their
+// blocks, that count equals Stats.TxnsDiscardedOnReplay; the crash
+// harness asserts exactly that.
+func (c *Controller) AuditJournal() (int, error) {
+	asm := newJournalAsm()
+	buf := make([]byte, blockdev.BlockSize)
+	for b := int64(0); b < c.cfg.LogBlocks; b++ {
+		if c.badLogBlocks[b] {
+			continue
+		}
+		if _, err := c.hddRead(c.cfg.VirtualBlocks+b, buf); err != nil {
+			return 0, fmt.Errorf("core: audit read log block %d: %w", b, err)
+		}
+		asm.addBlock(b, buf)
+	}
+
+	incomplete := 0
+	for _, t := range asm.txns {
+		if !t.complete() {
+			incomplete++
+		}
+	}
+
+	for lba, rec := range c.logIndex {
+		sb, ok := asm.blocks[rec.block]
+		if !ok {
+			return incomplete, fmt.Errorf("core: audit: live record for lba %d in undecodable log block %d", lba, rec.block)
+		}
+		t := asm.txns[sb.hdr.txn]
+		if t == nil || !t.complete() {
+			return incomplete, fmt.Errorf("core: audit: live record for lba %d rides incomplete txn %d (block %d)",
+				lba, sb.hdr.txn, rec.block)
+		}
+		owner, tracked := c.blockTxn[rec.block]
+		if !tracked {
+			return incomplete, fmt.Errorf("core: audit: live record for lba %d in untracked log block %d", lba, rec.block)
+		}
+		if owner != sb.hdr.txn {
+			return incomplete, fmt.Errorf("core: audit: log block %d holds txn %d on disk, controller tracks txn %d",
+				rec.block, sb.hdr.txn, owner)
+		}
+		found := false
+		for i := range sb.entries {
+			e := &sb.entries[i]
+			if e.lba == lba && e.seq == rec.seq && e.kind == rec.kind {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return incomplete, fmt.Errorf("core: audit: record for lba %d (seq %d kind %d) absent from disk block %d",
+				lba, rec.seq, rec.kind, rec.block)
+		}
+	}
+
+	// Every transaction the reuse bookkeeping still tracks with live
+	// records must be wholly on the media.
+	for txn, live := range c.txnLive {
+		if live == 0 {
+			continue
+		}
+		t := asm.txns[txn]
+		if t == nil || !t.complete() {
+			return incomplete, fmt.Errorf("core: audit: txn %d has %d live records but is not complete on disk", txn, live)
+		}
+	}
+	return incomplete, nil
+}

@@ -98,12 +98,52 @@ type Controller struct {
 	// replays exactly this relation. In-RAM state supersedes it while
 	// the controller is running.
 	logIndex map[int64]logRec
-	// logMeta holds per-log-block entry metadata so the cleaner can
+	// logMeta holds per-log-block entry metadata so the compactor can
 	// decide liveness without reading dead blocks from disk.
 	logMeta map[int64][]entryMeta
 	// perLba counts durable records per LBA across the whole log; a
 	// tombstone may be dropped only when it is the last record.
 	perLba map[int64]int
+
+	// nextTxn hands out journal transaction IDs. IDs are never reused,
+	// so a half-overwritten old transaction can never alias a new one.
+	nextTxn uint64
+	// logEpoch stamps every commit record written by this controller
+	// incarnation; recovery bumps it past everything it saw on disk.
+	logEpoch uint64
+	// blockTxn maps each tracked log block to the transaction whose
+	// commit record it carries.
+	blockTxn map[int64]uint64
+	// txnLive counts live (newest-for-their-LBA) records per tracked
+	// transaction. A log block may be overwritten only when its whole
+	// transaction has no live records left: txn-granular reuse keeps
+	// every on-disk transaction either wholly intact or wholly dead,
+	// which is what makes all-or-nothing replay safe.
+	txnLive map[uint64]int
+	// txnBlocks lists the log blocks of each tracked transaction.
+	txnBlocks map[uint64][]int64
+	// metaPool recycles entryMeta slices between packed log blocks.
+	metaPool [][]entryMeta
+	// txnBlocksPool recycles the per-transaction block lists, so the
+	// steady-state commit path (one new transaction per flush) stays
+	// allocation-free.
+	txnBlocksPool [][]int64
+	// pendingScratch, partScratch and rescueScratch are the commit
+	// path's reusable staging areas (alloc-gated: steady-state commits
+	// reuse them instead of allocating).
+	pendingScratch []logEntry
+	partScratch    []txnPart
+	rescueScratch  []logEntry
+	// shedScratch is shedLogPressure's reusable victim batch: evictions
+	// are collected in LRU order, then written back in home-LBA order so
+	// the HDD sweeps them with short forward seeks.
+	shedScratch []*vblock
+	// committing guards against re-entrant flushes: eviction inside a
+	// commit can hit RAM pressure whose reclaim path asks for another
+	// flush, but the commit buffer is already snapshotted — a nested
+	// drain would interleave quarantine releases and grooming with the
+	// half-finished outer commit.
+	committing bool
 
 	// sameOffset indexes blocks by VM-image offset for first-load
 	// similarity pairing (paper §4.2 case 1).
@@ -159,6 +199,11 @@ func New(cfg Config, ssdDev, hddDev blockdev.Device, clock *sim.Clock, cpu *cpum
 		logIndex:     make(map[int64]logRec),
 		logMeta:      make(map[int64][]entryMeta),
 		perLba:       make(map[int64]int),
+		nextTxn:      1,
+		logEpoch:     1,
+		blockTxn:     make(map[int64]uint64),
+		txnLive:      make(map[uint64]int),
+		txnBlocks:    make(map[uint64][]int64),
 		sameOffset:   make(map[int64][]*vblock),
 	}
 	c.freeSlots = make([]int64, 0, cfg.SSDBlocks)
@@ -455,7 +500,7 @@ func (c *Controller) reclaimDeltaRAM(keep *vblock) bool {
 	}
 	if c.dirtyBytes > 0 || len(c.dirtyQ) > 0 {
 		before := c.deltaBudget.Used()
-		if err := c.flushDeltas(); err == nil {
+		if err := c.commitJournal(); err == nil {
 			// Flushing marks deltas clean; retry the drop pass.
 			if c.dropOneCleanDelta(keep) || c.deltaBudget.Used() < before {
 				return true

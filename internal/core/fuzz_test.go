@@ -7,21 +7,24 @@ import (
 	"icash/internal/blockdev"
 )
 
-// fuzzLogBlock builds a valid CRC'd log block for seeding.
-func fuzzLogBlock(entries []logEntry) []byte {
+// fuzzLogBlock builds a valid CRC'd commit-record part for seeding.
+func fuzzLogBlock(hdr blockHeader, entries []logEntry) []byte {
 	buf := make([]byte, blockdev.BlockSize)
-	encodeLogBlock(buf, entries)
+	encodeLogBlock(buf, hdr, entries)
 	return buf
 }
 
-// FuzzLogReplay replays arbitrary bytes through the CRC'd log-block
+// oneTxn is the framing of a whole single-part transaction.
+var fuzzHdr = blockHeader{txn: 1, epoch: 1, part: 0, total: 1, flags: blockFlagCommit}
+
+// FuzzLogReplay replays arbitrary bytes through the CRC'd journal-block
 // decoder, the path crash recovery walks over a disk that may hold torn
 // writes, stale garbage, or bit rot. Decoding must never panic; blocks
 // it accepts must survive an encode/decode round trip unchanged.
 func FuzzLogReplay(f *testing.F) {
 	f.Add(make([]byte, blockdev.BlockSize)) // never-written block: no magic
-	f.Add(fuzzLogBlock(nil))                // valid, empty
-	valid := fuzzLogBlock([]logEntry{
+	f.Add(fuzzLogBlock(fuzzHdr, nil))       // valid, empty
+	valid := fuzzLogBlock(fuzzHdr, []logEntry{
 		{kind: entryDelta, flags: 1, lba: 42, seq: 7, slot: 3, delta: []byte{1, 2, 3, 4, 5}},
 		{kind: entryPointer, lba: 99, seq: 8, slot: 12},
 		{kind: entryTombstone, lba: 7, seq: 9},
@@ -38,23 +41,136 @@ func FuzzLogReplay(f *testing.F) {
 		buf := make([]byte, blockdev.BlockSize)
 		copy(buf, data)
 
-		entries, err := decodeLogBlock(buf)
+		hdr, entries, err := decodeLogBlock(buf)
 		if err != nil {
 			return // rejected: corrupt blocks are allowed to fail, not panic
 		}
-		// Accepted blocks round-trip: re-encoding the decoded entries and
-		// decoding again must reproduce them exactly.
+		if hdr.total == 0 {
+			return // no magic: never-written block
+		}
+		// Accepted blocks round-trip: re-encoding the decoded header and
+		// entries and decoding again must reproduce them exactly.
 		re := make([]byte, blockdev.BlockSize)
-		encodeLogBlock(re, entries)
-		again, err := decodeLogBlock(re)
+		encodeLogBlock(re, hdr, entries)
+		rehdr, again, err := decodeLogBlock(re)
 		if err != nil {
 			t.Fatalf("re-encoded block failed to decode: %v", err)
+		}
+		if rehdr != hdr {
+			t.Fatalf("round trip header %+v, want %+v", rehdr, hdr)
 		}
 		if len(entries) != len(again) {
 			t.Fatalf("round trip entry count %d, want %d", len(again), len(entries))
 		}
 		if len(entries) > 0 && !reflect.DeepEqual(entries, again) {
 			t.Fatalf("round trip entries differ:\n got %+v\nwant %+v", again, entries)
+		}
+	})
+}
+
+// fuzzJournal concatenates whole blocks into one multi-block region.
+func fuzzJournal(blocks ...[]byte) []byte {
+	var out []byte
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// FuzzJournalReplay drives arbitrary multi-block regions through the
+// transaction assembly that crash recovery and the durability audit
+// share. The seeds are the hostile shapes a crashed or scribbled disk
+// produces: a transaction truncated before its commit marker, a
+// bit-flipped CRC, the same transaction id framing two different
+// batches (duplicate parts), and a stale-epoch leftover adopted into a
+// newer transaction's id. Assembly must never panic, and a transaction
+// it reports complete must actually be whole and consistent —
+// anything less must count as discarded, never as partially applied.
+func FuzzJournalReplay(f *testing.F) {
+	entryA := []logEntry{{kind: entryDelta, lba: 10, seq: 1, slot: 2, delta: []byte{1, 2}}}
+	entryB := []logEntry{{kind: entryTombstone, lba: 11, seq: 2}}
+	entryC := []logEntry{{kind: entryPointer, lba: 12, seq: 3, slot: 4}}
+
+	// A complete two-part transaction followed by a complete single-part one.
+	f.Add(fuzzJournal(
+		fuzzLogBlock(blockHeader{txn: 5, epoch: 2, part: 0, total: 2}, entryA),
+		fuzzLogBlock(blockHeader{txn: 5, epoch: 2, part: 1, total: 2, flags: blockFlagCommit}, entryB),
+		fuzzLogBlock(blockHeader{txn: 6, epoch: 2, part: 0, total: 1, flags: blockFlagCommit}, entryC),
+	))
+	// Truncated commit: the marker part of txn 5 never made it to disk.
+	f.Add(fuzzJournal(
+		fuzzLogBlock(blockHeader{txn: 5, epoch: 2, part: 0, total: 3}, entryA),
+		fuzzLogBlock(blockHeader{txn: 5, epoch: 2, part: 1, total: 3}, entryB),
+		make([]byte, blockdev.BlockSize),
+	))
+	// Bit-flipped CRC inside a part: the transaction must void wholly.
+	flipped := fuzzLogBlock(blockHeader{txn: 7, epoch: 2, part: 0, total: 2}, entryA)
+	flipped[100] ^= 0x40
+	f.Add(fuzzJournal(
+		flipped,
+		fuzzLogBlock(blockHeader{txn: 7, epoch: 2, part: 1, total: 2, flags: blockFlagCommit}, entryB),
+	))
+	// Duplicate txn id: two generations framed the same id and part.
+	f.Add(fuzzJournal(
+		fuzzLogBlock(blockHeader{txn: 8, epoch: 1, part: 0, total: 1, flags: blockFlagCommit}, entryA),
+		fuzzLogBlock(blockHeader{txn: 8, epoch: 1, part: 0, total: 1, flags: blockFlagCommit}, entryB),
+	))
+	// Stale-epoch record: an old incarnation's part under a reused id.
+	f.Add(fuzzJournal(
+		fuzzLogBlock(blockHeader{txn: 9, epoch: 1, part: 0, total: 2}, entryA),
+		fuzzLogBlock(blockHeader{txn: 9, epoch: 4, part: 1, total: 2, flags: blockFlagCommit}, entryB),
+	))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Clip to whole blocks, at most a small region; a torn tail
+		// block arrives zero-padded like a real partial write.
+		const maxBlocks = 8
+		asm := newJournalAsm()
+		buf := make([]byte, blockdev.BlockSize)
+		for b := int64(0); b < maxBlocks; b++ {
+			lo := int(b) * blockdev.BlockSize
+			if lo >= len(data) {
+				break
+			}
+			for i := range buf {
+				buf[i] = 0
+			}
+			copy(buf, data[lo:])
+			asm.addBlock(b, buf)
+		}
+		for id, txn := range asm.txns {
+			if !txn.complete() {
+				continue
+			}
+			// A complete transaction must be internally whole: every
+			// part present exactly once, consistent framing, commit
+			// marker on the final part, every entry's seq within the
+			// assembly's max.
+			if len(txn.seen) != txn.total || txn.bad || !txn.commit {
+				t.Fatalf("txn %d reported complete but seen=%d total=%d bad=%v commit=%v",
+					id, len(txn.seen), txn.total, txn.bad, txn.commit)
+			}
+			for part := 0; part < txn.total; part++ {
+				b, ok := txn.seen[uint16(part)]
+				if !ok {
+					t.Fatalf("complete txn %d missing part %d", id, part)
+				}
+				sb, ok := asm.blocks[b]
+				if !ok {
+					t.Fatalf("complete txn %d part %d points at undecoded block %d", id, part, b)
+				}
+				if sb.hdr.txn != id || sb.hdr.epoch != txn.epoch || int(sb.hdr.total) != txn.total {
+					t.Fatalf("complete txn %d part %d has inconsistent header %+v", id, part, sb.hdr)
+				}
+				if sb.hdr.commit() != (part == txn.total-1) {
+					t.Fatalf("txn %d part %d: commit marker misplaced", id, part)
+				}
+				for i := range sb.entries {
+					if sb.entries[i].seq > asm.maxSeq {
+						t.Fatalf("entry seq %d above assembly max %d", sb.entries[i].seq, asm.maxSeq)
+					}
+				}
+			}
 		}
 	})
 }

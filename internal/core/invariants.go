@@ -147,6 +147,61 @@ func (c *Controller) CheckInvariants() error {
 		}
 	}
 
+	// Transaction bookkeeping: tracked blocks and transactions point at
+	// each other exactly, and the per-transaction live counts (which
+	// gate block reuse) match the live-record census.
+	for b := range c.logMeta {
+		if _, ok := c.blockTxn[b]; !ok {
+			return fmt.Errorf("core: log block %d tracked without a transaction", b)
+		}
+	}
+	for b, t := range c.blockTxn {
+		if c.badLogBlocks[b] {
+			return fmt.Errorf("core: retired log block %d still in txn %d", b, t)
+		}
+		found := false
+		for _, bb := range c.txnBlocks[t] {
+			if bb == b {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("core: log block %d claims txn %d, which does not list it", b, t)
+		}
+	}
+	for t, blocks := range c.txnBlocks {
+		if len(blocks) == 0 {
+			return fmt.Errorf("core: txn %d tracked with no blocks", t)
+		}
+		if _, ok := c.txnLive[t]; !ok {
+			return fmt.Errorf("core: txn %d has blocks but no live count", t)
+		}
+		for _, b := range blocks {
+			if owner, ok := c.blockTxn[b]; !ok || owner != t {
+				return fmt.Errorf("core: txn %d lists block %d owned by txn %d", t, b, owner)
+			}
+		}
+	}
+	for t := range c.txnLive {
+		if _, ok := c.txnBlocks[t]; !ok {
+			return fmt.Errorf("core: txn %d has a live count but no blocks", t)
+		}
+	}
+	txnCensus := make(map[uint64]int)
+	for _, rec := range c.logIndex {
+		t, ok := c.blockTxn[rec.block]
+		if !ok {
+			return fmt.Errorf("core: live record in block %d outside any transaction", rec.block)
+		}
+		txnCensus[t]++
+	}
+	for t, live := range c.txnLive {
+		if txnCensus[t] != live {
+			return fmt.Errorf("core: txnLive[%d]=%d, census says %d", t, live, txnCensus[t])
+		}
+	}
+
 	// Dirty-queue membership flags.
 	for _, v := range c.dirtyQ {
 		if v.inDirty && v.dead {

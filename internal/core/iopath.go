@@ -140,7 +140,7 @@ func (c *Controller) deltaFromLog(lba int64) ([]byte, error) {
 		return nil, err
 	}
 	c.Stats.BackgroundHDDTime += d
-	entries, err := decodeLogBlock(buf)
+	_, entries, err := decodeLogBlock(buf)
 	if err != nil {
 		return nil, err
 	}

@@ -5,21 +5,34 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sort"
 
 	"icash/internal/blockdev"
 	"icash/internal/sim"
 )
 
 // The HDD delta log (paper §3.3) is a circular region of 4 KB blocks
-// following the primary region. Each log block packs many records so
-// that one sequential HDD write commits many I/Os' worth of deltas and
-// one HDD read on a miss prefetches many deltas at once.
+// following the primary region, organized as a transactional
+// group-commit journal (DESIGN.md §12). Pending records accumulate in
+// an in-memory commit buffer; the committer packs whole batches into
+// CRC-framed commit records — one transaction spanning one or more
+// consecutive parts, the last part carrying the commit marker — and
+// writes every part durably before any entry of the batch becomes
+// visible to readers or to setLogIndex. One sequential HDD write
+// commits many I/Os' worth of deltas, and one HDD read on a miss
+// prefetches many deltas at once.
 //
-// On-disk log block layout (little endian):
+// On-disk journal block layout v2 (little endian):
 //
-//	[0:4)   magic "ICLG"
+//	[0:4)   magic "ICJL"
 //	[4:6)   record count
 //	[6:10)  CRC32 (IEEE) of the whole block with this field zeroed
+//	[10:18) transaction id
+//	[18:26) commit epoch (controller incarnation stamp)
+//	[26:28) part index within the transaction
+//	[28:30) part count of the transaction
+//	[30]    block flags (bit 0: commit marker, set only on the last part)
+//	[31]    reserved (zero)
 //	then per record:
 //	    kind   byte   (1 delta, 2 ssd pointer, 3 tombstone)
 //	    flags  byte   (bit 0: donor — the LBA is the slot's donor)
@@ -29,9 +42,10 @@ import (
 //	    dlen   uint16 (delta bytes following; 0 for pointer/tombstone)
 //	    delta  [dlen]byte
 //
-// Recovery scans the region and applies, per LBA, the record with the
-// highest sequence number: delta → attach to slot, pointer → content in
-// SSD, tombstone → the HDD home location is authoritative.
+// Recovery assembles transactions from block headers and replays only
+// complete ones — every part present, CRC-valid, consistent, with the
+// commit marker among them — all-or-nothing; within the surviving
+// records, the highest sequence number per LBA wins.
 
 type entryKind uint8
 
@@ -41,35 +55,56 @@ const (
 	entryTombstone entryKind = 3
 )
 
-// ErrCorruptLogBlock reports a log block whose magic is present but
+// ErrCorruptLogBlock reports a journal block whose magic is present but
 // whose checksum or structure does not hold — the signature of a torn
-// (partially persisted) or corrupted log write. Recovery treats such a
-// block as holding no records: whatever it carried was the unflushed
-// tail of the bounded reliability window (§3.3).
+// (partially persisted) or corrupted commit write. Recovery treats such
+// a block as holding no records, which voids its whole transaction:
+// whatever the batch carried was the unflushed tail of the bounded
+// reliability window (§3.3).
 var ErrCorruptLogBlock = errors.New("core: corrupt log block")
 
 const (
-	logMagic      = "ICLG"
-	logHeaderSize = 10
+	logMagic      = "ICJL"
+	logHeaderSize = 32
 	entryHeadSize = 1 + 1 + 8 + 8 + 8 + 2
 	// flagDonor marks the record's LBA as the donor of its slot.
 	flagDonor byte = 1 << 0
 	// flagReference marks a pointer record installed as a reference by
 	// the scan (vs. a threshold write-through).
 	flagReference byte = 1 << 1
+	// blockFlagCommit marks the final part of a transaction — the
+	// commit marker. A transaction replays only when every part is
+	// present, CRC-valid, and the marker part is among them.
+	blockFlagCommit byte = 1 << 0
 )
 
-// logEntry is a record queued for packing. seq is assigned at pack time.
-type logEntry struct {
-	kind  entryKind
+// blockHeader is the decoded journal framing of one commit-record part.
+type blockHeader struct {
+	txn   uint64
+	epoch uint64
+	part  uint16
+	total uint16
 	flags byte
-	lba   int64
-	seq   uint64
-	slot  int64
-	delta []byte
 }
 
-// entryMeta is the RAM-resident metadata the cleaner keeps per packed
+// commit reports whether this part carries the commit marker.
+func (h blockHeader) commit() bool { return h.flags&blockFlagCommit != 0 }
+
+// logEntry is a record queued for packing. seq is assigned at pack
+// time. rescued marks a compaction copy (RAM-only, never encoded):
+// its source record stays live until the copy commits, so a failed
+// commit simply drops the copy instead of re-queueing it.
+type logEntry struct {
+	kind    entryKind
+	flags   byte
+	rescued bool
+	lba     int64
+	seq     uint64
+	slot    int64
+	delta   []byte
+}
+
+// entryMeta is the RAM-resident metadata the compactor keeps per packed
 // record (no delta bytes).
 type entryMeta struct {
 	kind  entryKind
@@ -90,19 +125,29 @@ type logRec struct {
 }
 
 // setLogIndex updates the newest-record index for lba, maintaining the
-// live-byte estimate used for log-pressure shedding.
+// live-byte estimate used for log-pressure shedding and the per-
+// transaction live-record counts that gate block reuse.
 func (c *Controller) setLogIndex(lba int64, rec logRec) {
 	if old, ok := c.logIndex[lba]; ok {
 		c.liveLogBytes -= int64(old.size)
+		if t, ok := c.blockTxn[old.block]; ok {
+			c.txnLive[t]--
+		}
 	}
 	c.logIndex[lba] = rec
 	c.liveLogBytes += int64(rec.size)
+	if t, ok := c.blockTxn[rec.block]; ok {
+		c.txnLive[t]++
+	}
 }
 
 // clearLogIndex removes the newest-record index entry for lba.
 func (c *Controller) clearLogIndex(lba int64) {
 	if old, ok := c.logIndex[lba]; ok {
 		c.liveLogBytes -= int64(old.size)
+		if t, ok := c.blockTxn[old.block]; ok {
+			c.txnLive[t]--
+		}
 		delete(c.logIndex, lba)
 	}
 }
@@ -121,35 +166,48 @@ func (c *Controller) logCapacityBytes() int64 {
 // shedLogPressure keeps the live-record volume within the log capacity
 // by writing the coldest delta-carrying blocks back to their home
 // locations (their records become tombstones). Without shedding a
-// too-small log would livelock in the cleaner.
+// too-small log would livelock in the compactor.
+//
+// Victims are selected in LRU order but written back in home-LBA order:
+// the whole batch is collected first, then sorted, so the HDD services
+// an elevator sweep of short forward seeks instead of one random
+// multi-millisecond seek per eviction. At queue depth the background
+// writeback stream is what saturates the disk, so the sweep order is
+// worth a large slice of the commit budget.
 func (c *Controller) shedLogPressure(pendingBytes int64) error {
 	limit := c.logCapacityBytes() * 3 / 4
 	projected := c.liveLogBytes + pendingBytes
-	for projected > limit {
-		var victim *vblock
-		for v := c.lru.tail; v != nil; v = v.prev {
-			if v == c.pinned || v.kind == Reference {
-				continue
-			}
-			if v.deltaRAM != nil || c.deltaLogged(v) {
-				victim = v
-				break
-			}
+	if projected <= limit {
+		return nil
+	}
+	victims := c.shedScratch[:0]
+	for v := c.lru.tail; v != nil && projected > limit; v = v.prev {
+		if v == c.pinned || v.kind == Reference {
+			continue
 		}
-		if victim == nil {
-			return nil
+		if v.deltaRAM == nil && !c.deltaLogged(v) {
+			continue
 		}
-		if victim.deltaDirty && victim.deltaRAM != nil {
-			projected -= int64(entryHeadSize + len(victim.deltaRAM))
+		if v.deltaDirty && v.deltaRAM != nil {
+			projected -= int64(entryHeadSize + len(v.deltaRAM))
 		}
-		if rec, ok := c.logIndex[victim.lba]; ok && rec.kind == entryDelta {
+		if rec, ok := c.logIndex[v.lba]; ok && rec.kind == entryDelta {
 			projected -= int64(rec.size)
 		}
 		projected += entryHeadSize // the tombstone
-		if err := c.evictToHome(victim); err != nil {
+		victims = append(victims, v)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].lba < victims[j].lba })
+	for _, v := range victims {
+		if v.dead {
+			continue // dropped as a side effect of an earlier eviction
+		}
+		if err := c.evictToHome(v); err != nil {
+			c.shedScratch = victims[:0]
 			return err
 		}
 	}
+	c.shedScratch = victims[:0]
 	return nil
 }
 
@@ -165,15 +223,15 @@ func (c *Controller) queueControl(e logEntry) {
 	c.control = append(c.control, e)
 }
 
-// maybeFlush flushes when dirty volume or the periodic op counter says
+// maybeFlush commits when dirty volume or the periodic op counter says
 // so (paper §3.3: the flush interval is a tunable reliability knob).
 func (c *Controller) maybeFlush() error {
 	if c.dirtyBytes >= c.cfg.FlushDirtyBytes {
-		return c.flushDeltas()
+		return c.commitJournal()
 	}
 	if c.cfg.FlushPeriodOps > 0 && c.opCount%int64(c.cfg.FlushPeriodOps) == 0 &&
 		(len(c.dirtyQ) > 0 || len(c.control) > 0) {
-		return c.flushDeltas()
+		return c.commitJournal()
 	}
 	return nil
 }
@@ -181,301 +239,33 @@ func (c *Controller) maybeFlush() error {
 // entrySize returns the packed size of e.
 func entrySize(e *logEntry) int { return entryHeadSize + len(e.delta) }
 
-// flushDeltas packs every pending dirty delta and control record into
-// log blocks and appends them sequentially to the HDD log region. Log
-// blocks about to be overwritten are cleaned first: still-live records
-// are re-queued (LFS-style). Quarantined SSD slots become reusable once
-// the flush commits their tombstones.
-func (c *Controller) flushDeltas() error {
-	// Relieve log pressure first: if the live volume plus this flush
-	// would crowd the circular log, push the coldest blocks home.
-	var pendingBytes int64
-	for i := range c.control {
-		pendingBytes += int64(entrySize(&c.control[i]))
-	}
-	for _, v := range c.dirtyQ {
-		if v.inDirty && v.deltaDirty && v.deltaRAM != nil {
-			pendingBytes += int64(entryHeadSize + len(v.deltaRAM))
-		}
-	}
-	if err := c.shedLogPressure(pendingBytes); err != nil {
-		return err
-	}
-
-	// Snapshot pending work. Records rescued by cleaning are appended
-	// to this same queue while we drain it.
-	pending := make([]logEntry, 0, len(c.control)+len(c.dirtyQ))
-	pending = append(pending, c.control...)
-	c.control = c.control[:0]
-	for _, v := range c.dirtyQ {
-		if !v.inDirty || !v.deltaDirty || v.deltaRAM == nil || v.slotRef == nil {
-			if v.inDirty {
-				v.inDirty = false
-			}
-			continue
-		}
-		v.inDirty = false
-		var flags byte
-		if v.slotRef.donor == v.lba {
-			flags |= flagDonor
-		}
-		pending = append(pending, logEntry{
-			kind:  entryDelta,
-			flags: flags,
-			lba:   v.lba,
-			slot:  v.slotRef.index,
-			delta: v.deltaRAM,
-		})
-	}
-	c.dirtyQ = c.dirtyQ[:0]
-	c.dirtyBytes = 0
-	if len(pending) == 0 {
-		return nil
-	}
-	c.Stats.FlushRuns++
-
-	// Pooled pack buffer: encodeLogBlock fully overwrites it and the
-	// device copies it, so nothing aliases it past the defer.
-	buf := blockdev.GetBlock()
-	defer blockdev.PutBlock(buf)
-	guard := 4 * c.cfg.LogBlocks // progress guard against a too-small log
-	for len(pending) > 0 {
-		if guard--; guard < 0 {
-			c.requeuePending(pending)
-			return fmt.Errorf("core: delta log too small for live delta volume (LogBlocks=%d)", c.cfg.LogBlocks)
-		}
-		if int64(len(c.badLogBlocks)) >= c.cfg.LogBlocks {
-			c.requeuePending(pending)
-			return fmt.Errorf("core: every log block has failed: %w", blockdev.ErrMedia)
-		}
-		for c.badLogBlocks[c.logHead] {
-			c.logHead = (c.logHead + 1) % c.cfg.LogBlocks
-		}
-		target := c.logHead
-		// The frontier only ever lands on a block with no live records:
-		// the previous iteration (or recovery) already relocated them.
-		// Cleaning target here is a defensive no-op in normal operation;
-		// it does work only when that invariant could not be established
-		// (a recovered log with every block live).
-		rescued, err := c.cleanLogBlock(target)
-		if err != nil {
-			c.requeuePending(pending)
-			return err
-		}
-		// Rescue-before-overwrite: relocate the NEXT block's live records
-		// into THIS write, so by the time the frontier reaches that block
-		// its old copies are already durable elsewhere. Packing a block's
-		// rescued records into the very write that overwrites their own
-		// block would lose them to a torn write at a crash point.
-		next := (target + 1) % c.cfg.LogBlocks
-		for c.badLogBlocks[next] && next != target {
-			next = (next + 1) % c.cfg.LogBlocks
-		}
-		if next != target {
-			r2, err := c.cleanLogBlock(next)
-			if err != nil {
-				c.requeuePending(append(rescued, pending...))
-				return err
-			}
-			rescued = append(rescued, r2...)
-		}
-		if len(rescued) > 0 {
-			// Rescued records go first: one block's records always fit in
-			// one block, so they commit in this write, ahead of the
-			// frontier overwriting their source.
-			pending = append(rescued, pending...)
-		}
-
-		// Pack records into one block.
-		n := 0
-		used := logHeaderSize
-		metas := make([]entryMeta, 0, 8)
-		for n < len(pending) {
-			e := &pending[n]
-			sz := entrySize(e)
-			if used+sz > blockdev.BlockSize {
-				break
-			}
-			e.seq = c.nextSeq()
-			used += sz
-			metas = append(metas, entryMeta{kind: e.kind, flags: e.flags, lba: e.lba, seq: e.seq, slot: e.slot, size: int32(sz)})
-			n++
-		}
-		if n == 0 {
-			return fmt.Errorf("core: delta record larger than a log block")
-		}
-		encodeLogBlock(buf, pending[:n])
-		d, err := c.hddWrite(c.cfg.VirtualBlocks+target, buf)
-		if err != nil {
-			if blockdev.Classify(err) == blockdev.ClassMedia {
-				// Latent defect under the log frontier: retire this log
-				// block and pack the same records into the next one.
-				// Nothing from this block landed, so nothing is lost.
-				c.badLogBlocks[target] = true
-				c.Stats.BadLogBlocks++
-				c.logHead = (c.logHead + 1) % c.cfg.LogBlocks
-				continue
-			}
-			// Device-level failure: requeue everything still pending so
-			// no delta or tombstone silently vanishes, and surface the
-			// error. The next flush attempt retries the whole batch.
-			c.requeuePending(pending)
-			return fmt.Errorf("core: log write: %w", err)
-		}
-		c.Stats.BackgroundHDDTime += d
-		c.Stats.LogBlocksWritten++
-
-		// Commit indexes.
-		c.logMeta[target] = metas
-		for i := range metas {
-			m := &metas[i]
-			c.perLba[m.lba]++
-			dbg(m.lba, "commit kind=%d seq=%d block=%d", m.kind, m.seq, target)
-			c.setLogIndex(m.lba, logRec{block: target, seq: m.seq, kind: m.kind, size: m.size})
-			if m.kind == entryDelta {
-				c.Stats.DeltasPacked++
-				if v, ok := c.blocks[m.lba]; ok {
-					v.deltaDirty = false
-				}
-			}
-		}
-		pending = pending[n:]
-		c.logHead = (c.logHead + 1) % c.cfg.LogBlocks
-	}
-
-	// Tombstones for detached slots are now durable: release quarantine.
-	if len(c.quarantine) > 0 {
-		c.freeSlots = append(c.freeSlots, c.quarantine...)
-		c.quarantine = c.quarantine[:0]
-	}
-	return nil
-}
-
-// requeuePending pushes not-yet-durable flush work back onto the
-// control queue after a mid-flush failure: every entry keeps its
-// payload (delta records carry their bytes), so the next flush packs
-// the same records again with fresh sequence numbers. Without this, a
-// failed log write would silently drop tombstones and deltas whose
-// vblocks were already marked clean in the dirty queue.
-func (c *Controller) requeuePending(pending []logEntry) {
-	c.control = append(c.control, pending...)
-}
-
-// cleanLogBlock prepares log block b for overwriting: every record in it
-// is forgotten, and records that are still the newest for their LBA are
-// rescued — re-queued so they land in a fresh block. Returns the rescue
-// queue.
-func (c *Controller) cleanLogBlock(b int64) ([]logEntry, error) {
-	metas := c.logMeta[b]
-	if len(metas) == 0 {
-		return nil, nil
-	}
-	var rescued []logEntry
-	var blockData []byte // lazily read only if delta bytes are needed
-	// Pooled: decodeLogBlock copies delta bytes out, so the rescued
-	// entries never alias blockData and the Put below is safe.
-	defer func() { blockdev.PutBlock(blockData) }()
-	readBlock := func() error {
-		if blockData != nil {
-			return nil
-		}
-		blockData = blockdev.GetBlock()
-		d, err := c.hddRead(c.cfg.VirtualBlocks+b, blockData)
-		if err != nil {
-			return fmt.Errorf("core: log clean read: %w", err)
-		}
-		c.Stats.BackgroundHDDTime += d
-		return nil
-	}
-	cleaned := false
-	for i := range metas {
-		m := &metas[i]
-		c.perLba[m.lba]--
-		if c.perLba[m.lba] <= 0 {
-			delete(c.perLba, m.lba)
-		}
-		rec, ok := c.logIndex[m.lba]
-		if !ok || rec.block != b || rec.seq != m.seq {
-			continue // superseded: dead record
-		}
-		dbg(m.lba, "clean live rec kind=%d seq=%d block=%d", m.kind, m.seq, b)
-		c.clearLogIndex(m.lba)
-		v := c.blocks[m.lba]
-		switch m.kind {
-		case entryDelta:
-			// This is the newest DURABLE record for the LBA, so it must
-			// survive even when RAM state says a newer version is coming
-			// (a dirty delta, a promotion): that newer version is not
-			// durable until its own record commits, and a crash in
-			// between must still find this one. Rescued records are
-			// repacked ahead of pending work, so the superseding record
-			// always commits with a higher sequence number.
-			var bytes []byte
-			if v != nil && v.slotRef != nil && v.slotRef.index == m.slot &&
-				!v.ssdCurrent && !v.deltaDirty && v.deltaRAM != nil {
-				bytes = v.deltaRAM
-			} else {
-				// RAM does not hold this exact delta version (evicted
-				// metadata, or a newer dirty delta in its place): read
-				// the logged bytes back from the block itself.
-				if err := readBlock(); err != nil {
-					return rescued, err
-				}
-				entries, err := decodeLogBlock(blockData)
-				if err != nil {
-					return rescued, fmt.Errorf("core: log block %d: %w", b, err)
-				}
-				for j := range entries {
-					if entries[j].seq == m.seq {
-						bytes = entries[j].delta
-						break
-					}
-				}
-				if bytes == nil {
-					return rescued, fmt.Errorf("core: log block %d missing seq %d", b, m.seq)
-				}
-			}
-			rescued = append(rescued, logEntry{kind: entryDelta, flags: m.flags, lba: m.lba, slot: m.slot, delta: bytes})
-			c.Stats.DeltasRescued++
-			cleaned = true
-		case entryPointer:
-			rescued = append(rescued, logEntry{kind: entryPointer, flags: m.flags, lba: m.lba, slot: m.slot})
-			cleaned = true
-		case entryTombstone:
-			// Recovery replays the newest *raw* record per LBA, so a
-			// tombstone must outlive every older record for its LBA —
-			// even if the block is alive in RAM right now (RAM state
-			// does not survive the crash; the log must stand alone).
-			if c.perLba[m.lba] > 0 {
-				rescued = append(rescued, logEntry{kind: entryTombstone, lba: m.lba})
-				cleaned = true
-			}
-		}
-	}
-	delete(c.logMeta, b)
-	if cleaned {
-		c.Stats.LogCleanerRuns++
-	}
-	return rescued, nil
-}
-
 // logBlockCRC computes the block checksum: CRC32-IEEE over the whole
 // block with the checksum field treated as zero (computed piecewise so
 // the caller's buffer is never mutated).
+// crcZero stands in for the checksum field itself; package-level so
+// taking the slice never escapes to the heap (the commit path is
+// allocation-gated).
+var crcZero [4]byte
+
 func logBlockCRC(buf []byte) uint32 {
-	var zero [4]byte
 	crc := crc32.Update(0, crc32.IEEETable, buf[0:6])
-	crc = crc32.Update(crc, crc32.IEEETable, zero[:])
+	crc = crc32.Update(crc, crc32.IEEETable, crcZero[:])
 	return crc32.Update(crc, crc32.IEEETable, buf[10:])
 }
 
-// encodeLogBlock serializes records into buf (4 KB, zero padded).
-func encodeLogBlock(buf []byte, entries []logEntry) {
+// encodeLogBlock serializes one commit-record part into buf (4 KB, zero
+// padded): the journal framing from hdr, then the records.
+func encodeLogBlock(buf []byte, hdr blockHeader, entries []logEntry) {
 	for i := range buf {
 		buf[i] = 0
 	}
 	copy(buf[0:4], logMagic)
 	binary.LittleEndian.PutUint16(buf[4:6], uint16(len(entries)))
+	binary.LittleEndian.PutUint64(buf[10:18], hdr.txn)
+	binary.LittleEndian.PutUint64(buf[18:26], hdr.epoch)
+	binary.LittleEndian.PutUint16(buf[26:28], hdr.part)
+	binary.LittleEndian.PutUint16(buf[28:30], hdr.total)
+	buf[30] = hdr.flags
 	off := logHeaderSize
 	for i := range entries {
 		e := &entries[i]
@@ -492,23 +282,45 @@ func encodeLogBlock(buf []byte, entries []logEntry) {
 	binary.LittleEndian.PutUint32(buf[6:10], logBlockCRC(buf))
 }
 
-// decodeLogBlock parses a log block; a block that never held log data
-// (no magic) yields no entries. A block whose magic is present but
-// whose checksum or structure fails returns ErrCorruptLogBlock — the
-// torn-write signature.
-func decodeLogBlock(buf []byte) ([]logEntry, error) {
+// decodeLogBlock parses one commit-record part; a block that never held
+// journal data (no magic) yields no entries and a zero header. A block
+// whose magic is present but whose checksum, framing, or record
+// structure fails returns ErrCorruptLogBlock — the torn-write
+// signature, which voids the block's whole transaction on replay.
+func decodeLogBlock(buf []byte) (blockHeader, []logEntry, error) {
+	var hdr blockHeader
 	if string(buf[0:4]) != logMagic {
-		return nil, nil
+		return hdr, nil, nil
 	}
 	if got, want := binary.LittleEndian.Uint32(buf[6:10]), logBlockCRC(buf); got != want {
-		return nil, fmt.Errorf("%w: checksum %08x, computed %08x", ErrCorruptLogBlock, got, want)
+		return hdr, nil, fmt.Errorf("%w: checksum %08x, computed %08x", ErrCorruptLogBlock, got, want)
+	}
+	hdr.txn = binary.LittleEndian.Uint64(buf[10:18])
+	hdr.epoch = binary.LittleEndian.Uint64(buf[18:26])
+	hdr.part = binary.LittleEndian.Uint16(buf[26:28])
+	hdr.total = binary.LittleEndian.Uint16(buf[28:30])
+	hdr.flags = buf[30]
+	if hdr.total == 0 {
+		return hdr, nil, fmt.Errorf("%w: zero part count", ErrCorruptLogBlock)
+	}
+	if hdr.part >= hdr.total {
+		return hdr, nil, fmt.Errorf("%w: part %d of %d", ErrCorruptLogBlock, hdr.part, hdr.total)
+	}
+	if hdr.flags&^blockFlagCommit != 0 {
+		return hdr, nil, fmt.Errorf("%w: unknown block flags %02x", ErrCorruptLogBlock, hdr.flags)
+	}
+	if hdr.commit() != (hdr.part == hdr.total-1) {
+		return hdr, nil, fmt.Errorf("%w: commit marker on part %d of %d", ErrCorruptLogBlock, hdr.part, hdr.total)
+	}
+	if buf[31] != 0 {
+		return hdr, nil, fmt.Errorf("%w: reserved byte %02x", ErrCorruptLogBlock, buf[31])
 	}
 	count := int(binary.LittleEndian.Uint16(buf[4:6]))
 	entries := make([]logEntry, 0, count)
 	off := logHeaderSize
 	for i := 0; i < count; i++ {
 		if off+entryHeadSize > len(buf) {
-			return nil, fmt.Errorf("%w: record %d overruns block", ErrCorruptLogBlock, i)
+			return hdr, nil, fmt.Errorf("%w: record %d overruns block", ErrCorruptLogBlock, i)
 		}
 		e := logEntry{
 			kind:  entryKind(buf[off]),
@@ -520,7 +332,7 @@ func decodeLogBlock(buf []byte) ([]logEntry, error) {
 		dlen := int(binary.LittleEndian.Uint16(buf[off+26:]))
 		off += entryHeadSize
 		if off+dlen > len(buf) {
-			return nil, fmt.Errorf("%w: record %d delta overruns block", ErrCorruptLogBlock, i)
+			return hdr, nil, fmt.Errorf("%w: record %d delta overruns block", ErrCorruptLogBlock, i)
 		}
 		if dlen > 0 {
 			e.delta = append([]byte(nil), buf[off:off+dlen]...)
@@ -529,11 +341,11 @@ func decodeLogBlock(buf []byte) ([]logEntry, error) {
 		switch e.kind {
 		case entryDelta, entryPointer, entryTombstone:
 		default:
-			return nil, fmt.Errorf("%w: record %d has unknown kind %d", ErrCorruptLogBlock, i, e.kind)
+			return hdr, nil, fmt.Errorf("%w: record %d has unknown kind %d", ErrCorruptLogBlock, i, e.kind)
 		}
 		entries = append(entries, e)
 	}
-	return entries, nil
+	return hdr, entries, nil
 }
 
 // loadDeltaBlock services a read-path miss on a delta that lives only in
@@ -549,7 +361,7 @@ func (c *Controller) loadDeltaBlock(b int64) (sim.Duration, error) {
 		return 0, fmt.Errorf("core: log read: %w", err)
 	}
 	c.Stats.ReadLogLoads++
-	entries, err := decodeLogBlock(buf)
+	_, entries, err := decodeLogBlock(buf)
 	if err != nil {
 		return d, fmt.Errorf("core: log block %d: %w", b, err)
 	}
@@ -575,7 +387,7 @@ func (c *Controller) loadDeltaBlock(b int64) (sim.Duration, error) {
 
 // Flush establishes a full consistency point: dirty independent data
 // blocks are written back to their home locations, then all pending
-// deltas and control records are committed to the log, and finally
+// deltas and control records are committed to the journal, and finally
 // write-through slots gain home backups. After Flush, a crash loses
 // nothing.
 func (c *Controller) Flush() error {
@@ -587,7 +399,7 @@ func (c *Controller) Flush() error {
 			}
 		}
 	}
-	if err := c.flushDeltas(); err != nil {
+	if err := c.commitJournal(); err != nil {
 		return err
 	}
 	return c.backupWriteThroughs()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 	"testing/quick"
 
@@ -16,11 +17,15 @@ func TestLogBlockCodec(t *testing.T) {
 		{kind: entryPointer, flags: flagDonor | flagReference, lba: 100, seq: 8, slot: 9},
 		{kind: entryTombstone, lba: 7, seq: 9, slot: -1},
 	}
+	hdr := blockHeader{txn: 11, epoch: 3, part: 1, total: 2, flags: blockFlagCommit}
 	buf := make([]byte, blockdev.BlockSize)
-	encodeLogBlock(buf, entries)
-	got, err := decodeLogBlock(buf)
+	encodeLogBlock(buf, hdr, entries)
+	ghdr, got, err := decodeLogBlock(buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if ghdr != hdr {
+		t.Fatalf("header mismatch: %+v vs %+v", ghdr, hdr)
 	}
 	if len(got) != len(entries) {
 		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
@@ -39,26 +44,61 @@ func TestLogBlockCodec(t *testing.T) {
 func TestLogBlockCodecEmpty(t *testing.T) {
 	// A never-written (zero) block decodes to no entries, no error.
 	buf := make([]byte, blockdev.BlockSize)
-	got, err := decodeLogBlock(buf)
-	if err != nil || len(got) != 0 {
-		t.Fatalf("zero block: %d entries, %v", len(got), err)
+	hdr, got, err := decodeLogBlock(buf)
+	if err != nil || len(got) != 0 || hdr.total != 0 {
+		t.Fatalf("zero block: %d entries, hdr %+v, %v", len(got), hdr, err)
 	}
 }
 
+// recrc recomputes the block checksum in place, so a corruption test
+// exercises the structural validation behind the CRC, not the CRC.
+func recrc(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[6:10], logBlockCRC(buf))
+}
+
 func TestLogBlockCodecCorrupt(t *testing.T) {
+	hdr := blockHeader{txn: 1, epoch: 1, part: 0, total: 1, flags: blockFlagCommit}
+	one := []logEntry{{kind: entryDelta, lba: 1, seq: 1, delta: []byte{9}}}
 	buf := make([]byte, blockdev.BlockSize)
-	encodeLogBlock(buf, []logEntry{{kind: entryDelta, lba: 1, seq: 1, delta: []byte{9}}})
-	// Corrupt the kind byte of the first record.
+
+	// A flipped bit fails the checksum.
+	encodeLogBlock(buf, hdr, one)
+	buf[logHeaderSize] ^= 0xFF
+	if _, _, err := decodeLogBlock(buf); err == nil {
+		t.Fatal("bit flip must fail the checksum")
+	}
+	// Corrupt record kind behind a valid CRC.
+	encodeLogBlock(buf, hdr, one)
 	buf[logHeaderSize] = 77
-	if _, err := decodeLogBlock(buf); err == nil {
+	recrc(buf)
+	if _, _, err := decodeLogBlock(buf); err == nil {
 		t.Fatal("corrupt record kind must error")
 	}
-	// Overstate the count.
-	encodeLogBlock(buf, []logEntry{{kind: entryDelta, lba: 1, seq: 1, delta: []byte{9}}})
+	// Overstated count behind a valid CRC.
+	encodeLogBlock(buf, hdr, one)
 	buf[4] = 0xFF
 	buf[5] = 0x7F
-	if _, err := decodeLogBlock(buf); err == nil {
+	recrc(buf)
+	if _, _, err := decodeLogBlock(buf); err == nil {
 		t.Fatal("overstated record count must error")
+	}
+	// Journal framing: part out of range, zero part count, commit
+	// marker anywhere but the last part — all torn-write signatures.
+	encodeLogBlock(buf, blockHeader{txn: 1, epoch: 1, part: 2, total: 2, flags: blockFlagCommit}, one)
+	if _, _, err := decodeLogBlock(buf); err == nil {
+		t.Fatal("part >= total must error")
+	}
+	encodeLogBlock(buf, blockHeader{txn: 1, epoch: 1, part: 0, total: 0}, one)
+	if _, _, err := decodeLogBlock(buf); err == nil {
+		t.Fatal("zero part count must error")
+	}
+	encodeLogBlock(buf, blockHeader{txn: 1, epoch: 1, part: 0, total: 2, flags: blockFlagCommit}, one)
+	if _, _, err := decodeLogBlock(buf); err == nil {
+		t.Fatal("commit marker on a non-final part must error")
+	}
+	encodeLogBlock(buf, blockHeader{txn: 1, epoch: 1, part: 0, total: 2}, one)
+	if _, _, err := decodeLogBlock(buf); err != nil {
+		t.Fatalf("valid non-final part must decode: %v", err)
 	}
 }
 

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
@@ -13,16 +12,22 @@ import (
 
 // Recover rebuilds a controller after a crash (paper §3.3): RAM contents
 // are gone, but the SSD reference store and the HDD (home region + delta
-// log) survive. The log region is scanned sequentially; for every LBA
-// the record with the highest sequence number wins:
+// log) survive. The journal region is scanned sequentially and its
+// commit records are assembled into transactions; a transaction replays
+// only when complete — every part present and CRC-valid with the commit
+// marker among them — and is discarded in full otherwise, never
+// partially applied. Within the surviving records, for every LBA the
+// record with the highest sequence number wins:
 //
 //	delta     → the block is an associate/reference of an SSD slot plus
 //	            the logged delta;
 //	pointer   → the block's current content sits in an SSD slot;
 //	tombstone → the HDD home location is authoritative (nothing to do).
 //
-// Writes that were only in the RAM delta buffer at crash time are lost;
-// that is the bounded reliability window the flush interval tunes.
+// Writes that were only in the RAM commit buffer at crash time are
+// lost; that is the bounded reliability window the flush interval
+// tunes. A batch whose commit burst the crash interrupted was never
+// acknowledged as durable, so discarding it wholly loses nothing.
 func Recover(cfg Config, ssdDev, hddDev blockdev.Device, clock *sim.Clock, cpu *cpumodel.Accountant) (*Controller, error) {
 	c, err := New(cfg, ssdDev, hddDev, clock, cpu)
 	if err != nil {
@@ -37,15 +42,10 @@ func Recover(cfg Config, ssdDev, hddDev blockdev.Device, clock *sim.Clock, cpu *
 	return c, nil
 }
 
-// replayLog scans the whole log region and reconstructs metadata.
+// replayLog scans the whole journal region, assembles transactions,
+// and reconstructs metadata from the complete ones (all-or-nothing).
 func (c *Controller) replayLog() error {
-	type newest struct {
-		e     logEntry
-		block int64
-	}
-	latest := make(map[int64]newest)
-	var maxSeq uint64
-	var maxSeqBlock int64
+	asm := newJournalAsm()
 	buf := make([]byte, blockdev.BlockSize)
 	for b := int64(0); b < c.cfg.LogBlocks; b++ {
 		d, err := c.hddRead(c.cfg.VirtualBlocks+b, buf)
@@ -53,7 +53,7 @@ func (c *Controller) replayLog() error {
 			if blockdev.Classify(err) == blockdev.ClassMedia {
 				// Unreadable log block: retire it. Its records were
 				// either superseded elsewhere or fall inside the bounded
-				// loss window.
+				// loss window (its transaction assembles as incomplete).
 				c.badLogBlocks[b] = true
 				c.Stats.BadLogBlocks++
 				continue
@@ -61,39 +61,50 @@ func (c *Controller) replayLog() error {
 			return fmt.Errorf("core: recovery read log block %d: %w", b, err)
 		}
 		c.Stats.BackgroundHDDTime += d
-		entries, err := decodeLogBlock(buf)
-		if err != nil {
-			if errors.Is(err, ErrCorruptLogBlock) {
-				// Torn write: the crash interrupted this block's flush,
-				// so its records were never acknowledged as durable.
-				// Skip it and replay everything that did commit.
-				c.Stats.TornLogBlocks++
-				continue
-			}
-			return fmt.Errorf("core: recovery log block %d: %w", b, err)
-		}
-		if len(entries) == 0 {
+		asm.addBlock(b, buf)
+	}
+	c.Stats.TornLogBlocks += asm.torn
+
+	// Register complete transactions in id order for determinism; an
+	// incomplete one is discarded wholly — its blocks stay untracked
+	// (and thus reusable), its records invisible.
+	txns := make([]uint64, 0, len(asm.txns))
+	for id := range asm.txns {
+		txns = append(txns, id)
+	}
+	sort.Slice(txns, func(i, j int) bool { return txns[i] < txns[j] })
+	type newest struct {
+		e     logEntry
+		block int64
+	}
+	latest := make(map[int64]newest)
+	for _, id := range txns {
+		t := asm.txns[id]
+		if !t.complete() {
+			c.Stats.TxnsDiscardedOnReplay++
 			continue
 		}
-		metas := make([]entryMeta, 0, len(entries))
-		for i := range entries {
-			e := entries[i]
-			metas = append(metas, entryMeta{kind: e.kind, flags: e.flags, lba: e.lba, seq: e.seq, slot: e.slot, size: int32(entrySize(&e))})
-			c.perLba[e.lba]++
-			if cur, ok := latest[e.lba]; !ok || e.seq > cur.e.seq {
-				latest[e.lba] = newest{e: e, block: b}
+		c.txnLive[id] = 0
+		for part := 0; part < t.total; part++ {
+			b := t.seen[uint16(part)]
+			sb := asm.blocks[b]
+			metas := make([]entryMeta, 0, len(sb.entries))
+			for i := range sb.entries {
+				e := sb.entries[i]
+				metas = append(metas, entryMeta{kind: e.kind, flags: e.flags, lba: e.lba, seq: e.seq, slot: e.slot, size: int32(entrySize(&e))})
+				c.perLba[e.lba]++
+				if cur, ok := latest[e.lba]; !ok || e.seq > cur.e.seq {
+					latest[e.lba] = newest{e: e, block: b}
+				}
 			}
-			if e.seq > maxSeq {
-				maxSeq = e.seq
-				maxSeqBlock = b
-			}
+			c.logMeta[b] = metas
+			c.blockTxn[b] = id
+			c.txnBlocks[id] = append(c.txnBlocks[id], b)
 		}
-		c.logMeta[b] = metas
 	}
-	c.logSeq = maxSeq
-	if maxSeq > 0 {
-		c.logHead = (maxSeqBlock + 1) % c.cfg.LogBlocks
-	}
+	c.logSeq = asm.maxSeq
+	c.nextTxn = asm.maxTxn + 1
+	c.logEpoch = asm.maxEpoch + 1
 
 	// Apply newest records in LBA order for determinism.
 	lbas := make([]int64, 0, len(latest))
@@ -207,21 +218,15 @@ func (c *Controller) replayLog() error {
 		}
 	}
 
-	// The flush frontier must resume on a block with no live records:
-	// flushDeltas relocates a block's survivors one write ahead of the
-	// frontier (rescue-before-overwrite), which only works if the
-	// frontier never starts on live data. Scan forward from the block
-	// after the newest write for the first live-free, healthy block.
-	if maxSeq > 0 {
-		liveBlocks := make(map[int64]bool)
-		for _, rec := range c.logIndex {
-			liveBlocks[rec.block] = true
-		}
-		start := (maxSeqBlock + 1) % c.cfg.LogBlocks
+	// The commit frontier resumes on an overwritable block after the
+	// newest write. Block reuse is transaction-granular (logBlockFree),
+	// so this needs the live counts the apply loop just rebuilt.
+	if asm.maxSeq > 0 {
+		start := (asm.maxSeqBlock + 1) % c.cfg.LogBlocks
 		c.logHead = start
 		for i := int64(0); i < c.cfg.LogBlocks; i++ {
 			b := (start + i) % c.cfg.LogBlocks
-			if c.badLogBlocks[b] || liveBlocks[b] {
+			if !c.logBlockFree(b) {
 				continue
 			}
 			c.logHead = b

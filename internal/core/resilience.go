@@ -348,7 +348,7 @@ func (c *Controller) degradeSSD() {
 	// Commit the tombstones: after this flush the HDD alone describes
 	// every surviving block, so a later crash recovers cleanly without
 	// the SSD. On flush failure they stay queued for the next attempt.
-	if err := c.flushDeltas(); err != nil {
+	if err := c.commitJournal(); err != nil {
 		dbg(-2, "degrade flush failed: %v", err)
 	}
 }

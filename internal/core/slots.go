@@ -42,13 +42,40 @@ func (c *Controller) liveSlots() []*refSlot {
 	return out
 }
 
-// attachSlot binds v to s.
+// attachSlot binds v to s, resurrecting s if it was quarantined in the
+// meantime. A caller may hold s across a delta store or data install
+// whose RAM-pressure cascade evicts the slot's last dependent: the
+// refcount hits zero and the index is queued for reuse while the
+// caller still intends to attach. Attaching again is sound — the flash
+// content is untouched until the index is reallocated, which cannot
+// happen inside the cascade — but the index must come back out of the
+// quarantine or free list, or a later flush would hand it out while
+// blocks are still attached.
 func (c *Controller) attachSlot(v *vblock, s *refSlot) {
 	if v.slotRef != nil {
 		c.detachSlot(v)
 	}
+	if s.refcnt <= 0 && c.slots[s.index] != s {
+		if prev, taken := c.slots[s.index]; taken {
+			panic(fmt.Sprintf("core: slot %d resurrected after reallocation (now %p)", s.index, prev))
+		}
+		c.slots[s.index] = s
+		c.slotOrder = append(c.slotOrder, s)
+		c.quarantine = removeIndex(c.quarantine, s.index)
+		c.freeSlots = removeIndex(c.freeSlots, s.index)
+	}
 	v.slotRef = s
 	s.refcnt++
+}
+
+// removeIndex deletes the first occurrence of idx, preserving order.
+func removeIndex(list []int64, idx int64) []int64 {
+	for i, x := range list {
+		if x == idx {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
 }
 
 // detachSlot unbinds v from its slot, quarantining the slot when the
@@ -84,7 +111,7 @@ func (c *Controller) reclaimWriteThrough() error {
 			return err
 		}
 		if len(c.quarantine) > 0 && len(c.freeSlots) == 0 {
-			return c.flushDeltas()
+			return c.commitJournal()
 		}
 		return nil
 	}
@@ -262,9 +289,9 @@ func (c *Controller) writeThroughSSD(v *vblock, content []byte) (sim.Duration, e
 		s = c.allocSlot()
 		if s == nil && len(c.quarantine) > 0 {
 			// Freed slots are waiting on a flush to commit their
-			// tombstones; flush now (cheap sequential log writes) and
+			// tombstones; commit now (cheap sequential log writes) and
 			// retry.
-			if err := c.flushDeltas(); err != nil {
+			if err := c.commitJournal(); err != nil {
 				return 0, err
 			}
 			s = c.allocSlot()

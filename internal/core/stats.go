@@ -35,8 +35,20 @@ type Stats struct {
 	FlushRuns        int64 // delta-pack flushes
 	LogBlocksWritten int64 // packed delta blocks appended to the log
 	DeltasPacked     int64 // deltas packed into the log
-	LogCleanerRuns   int64 // log blocks cleaned (live deltas rescued)
-	DeltasRescued    int64 // live deltas re-queued by the cleaner
+	LogCleanerRuns   int64 // transactions compacted (live records rescued)
+	DeltasRescued    int64 // live deltas re-packed by the compactor
+
+	// Group-commit journal accounting (see log.go §12 in DESIGN.md).
+	TxnsCommitted    int64        // journal transactions made durable
+	GroupCommitBytes int64        // payload bytes across all committed txns
+	CommitWriteTime  sim.Duration // device time spent on commit-record writes
+	// GroupCommitBatchHist counts committed transactions by payload
+	// size bucket: <=4KiB (one part), <=16KiB, <=64KiB, <=256KiB,
+	// <=1MiB, larger — how much batching group commit actually gets.
+	GroupCommitBatchHist [6]int64
+	// TxnsDiscardedOnReplay counts transactions recovery threw away in
+	// full for lacking a complete, CRC-valid set of commit parts.
+	TxnsDiscardedOnReplay int64
 
 	// Scanning and reference management.
 	Scans            int64
@@ -112,6 +124,28 @@ func (k KindCounts) Fractions() (ref, assoc, indep float64) {
 		return 0, 0, 0
 	}
 	return float64(k.Reference) / float64(t), float64(k.Associate) / float64(t), float64(k.Independent) / float64(t)
+}
+
+// NoteCommitWrite charges the device time of one successful
+// commit-record write: commit writes happen off the request path, so
+// the time lands in the background account as well as the journal's
+// own meter. icash-vet's latcharge analyzer requires journalWrite to
+// call this before any successful return.
+func (s *Stats) NoteCommitWrite(d sim.Duration) {
+	s.BackgroundHDDTime += d
+	s.CommitWriteTime += d
+}
+
+// NoteCommit records one durable journal transaction of n payload
+// bytes (packed record bytes across all its parts).
+func (s *Stats) NoteCommit(n int) {
+	s.TxnsCommitted++
+	s.GroupCommitBytes += int64(n)
+	bucket := 0
+	for limit := 4 << 10; bucket < len(s.GroupCommitBatchHist)-1 && n > limit; bucket++ {
+		limit <<= 2
+	}
+	s.GroupCommitBatchHist[bucket]++
 }
 
 // NoteDelta records an accepted delta of n bytes.

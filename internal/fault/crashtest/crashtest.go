@@ -42,6 +42,10 @@ type Config struct {
 	// FlushEvery issues an explicit Flush (durability point) every this
 	// many operations.
 	FlushEvery int
+	// Plan, when non-nil, shapes the HDD's service times with scheduled
+	// fail-slow windows (station "hdd"), so crash points land while the
+	// device is degraded, not only while it is healthy.
+	Plan *fault.Schedule
 }
 
 // Result reports one armed run.
@@ -135,7 +139,7 @@ func buildRig(cfg Config) (*rig, error) {
 	cpu := cpumodel.NewAccountant(clock)
 	ssd := blockdev.NewMemDevice(cfg.Core.SSDBlocks, 10*sim.Microsecond)
 	hdd := blockdev.NewMemDevice(cfg.Core.VirtualBlocks+cfg.Core.LogBlocks, 100*sim.Microsecond)
-	hddF := fault.Wrap(hdd, fault.Config{Seed: cfg.Seed})
+	hddF := fault.Wrap(hdd, fault.Config{Seed: cfg.Seed, Plan: cfg.Plan, Clock: clock, Station: "hdd"})
 	c, err := core.New(cfg.Core, ssd, hddF, clock, cpu)
 	if err != nil {
 		return nil, err
@@ -240,6 +244,18 @@ func RunCrash(cfg Config, crashWrite int64, tornBytes int) (Result, error) {
 	}
 	if err := rc.CheckInvariants(); err != nil {
 		return res, fmt.Errorf("post-recovery invariants: %w", err)
+	}
+	// Structural audit of the media itself: no reader-visible record may
+	// ride an incomplete transaction, and the incomplete transactions
+	// left on disk must be exactly the ones recovery reported discarding
+	// — a discrepancy either way means a batch was partially applied.
+	incomplete, err := rc.AuditJournal()
+	if err != nil {
+		return res, fmt.Errorf("post-recovery journal audit: %w", err)
+	}
+	if int64(incomplete) != rc.Stats.TxnsDiscardedOnReplay {
+		return res, fmt.Errorf("journal audit: %d incomplete transactions on disk, recovery discarded %d",
+			incomplete, rc.Stats.TxnsDiscardedOnReplay)
 	}
 
 	// Full read-back against the oracle.

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"icash/internal/core"
+	"icash/internal/fault"
+	"icash/internal/sim"
 )
 
 func sweepConfig() Config {
@@ -69,6 +71,43 @@ func TestCrashSweep(t *testing.T) {
 	}
 	if cleanSeen == 0 {
 		t.Error("every sweep run claimed a torn block; tornBytes=4096 should land cleanly")
+	}
+}
+
+// TestCrashSweepFailSlow repeats a crash sweep while the HDD runs under
+// an always-active fail-slow window: commit bursts take 8x their
+// nominal service time (with deterministic jitter), so power cuts land
+// on a degraded device whose writes straddle durability decisions for
+// much longer. Atomicity must not depend on the device being fast —
+// every recovery still passes invariants, the journal audit, and the
+// oracle read-back.
+func TestCrashSweepFailSlow(t *testing.T) {
+	cfg := sweepConfig()
+	cfg.Plan = &fault.Schedule{Windows: []fault.Window{
+		{Station: "hdd", From: 0, To: sim.Time(1 << 62), Factor: 8, Jitter: 2},
+	}}
+	if err := cfg.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	points, err := LogWritePoints(cfg)
+	if err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	if len(points) < 10 {
+		t.Fatalf("workload produced only %d log writes; need >= 10 crash points", len(points))
+	}
+	tornVariants := []int{0, 100, 2048, 4096}
+	const nPoints = 10
+	for i := 0; i < nPoints; i++ {
+		p := points[i*len(points)/nPoints]
+		torn := tornVariants[i%len(tornVariants)]
+		res, err := RunCrash(cfg, p, torn)
+		if err != nil {
+			t.Fatalf("fail-slow crash at write %d torn %d: %v", p, torn, err)
+		}
+		if !res.Crashed {
+			t.Fatalf("fail-slow crash at write %d torn %d never fired", p, torn)
+		}
 	}
 }
 

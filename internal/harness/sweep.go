@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"icash/internal/core"
 	"icash/internal/metrics"
 	"icash/internal/workload"
 )
@@ -61,6 +62,72 @@ func QDSweep(depths []int, opts workload.Options) (string, error) {
 		}
 		fmt.Fprintf(&b, "qd=%-3d req/s=%8.0f speedup=%5.2fx elapsed=%v\n",
 			qd, r.ReqPerSec, r.ReqPerSec/base, r.Elapsed)
+		b.WriteString(metrics.FormatStations(r.Stations, "  ", true))
+	}
+	return b.String(), firstErr
+}
+
+// WriteQDSweep measures I-CASH random-write throughput against queue
+// depth (the RandWrite microbenchmark) and renders a scaling table with
+// the delta-log commit accounting next to each depth. This is the
+// before/after instrument for the group-commit journal: overlapping
+// writers should amortize into fewer, larger sequential log commits,
+// which shows up as higher req/s and fewer log blocks per operation.
+func WriteQDSweep(depths []int, opts workload.Options) (string, error) {
+	if len(depths) == 0 {
+		depths = []int{1, 2, 4, 8, 16}
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = QDSweepScale
+	}
+	if opts.MaxOps <= 0 {
+		opts.MaxOps = 12000
+	}
+	if opts.TuneICASH == nil {
+		// Shrink the log so the run wraps it several times: steady-state
+		// write throughput is set by the commit + compaction path, not by
+		// appends into a forever-empty log.
+		opts.TuneICASH = func(c *core.Config) { c.LogBlocks = 128 }
+	}
+	p := workload.RandWrite()
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== wsweep: %s on I-CASH (scale %.5f, %d ops) ===\n",
+		p.Name, opts.Scale, opts.MaxOps)
+	// Depths fan across Parallelism() workers like every other point
+	// set; rendering in submission order keeps the table byte-identical
+	// at every worker count.
+	runs := make([]*BenchmarkRun, len(depths))
+	var firstErr error
+	err := forEachPoint(len(depths), func(i int) error {
+		o := opts
+		o.QueueDepth = depths[i]
+		br, err := RunBenchmark(p, o, []Kind{ICASH})
+		if err != nil {
+			return err
+		}
+		runs[i] = br
+		return nil
+	})
+	base := 0.0
+	for i, qd := range depths {
+		if runs[i] == nil {
+			firstErr = err
+			break
+		}
+		r := runs[i].Results[ICASH]
+		if base == 0 {
+			base = r.ReqPerSec
+		}
+		fmt.Fprintf(&b, "qd=%-3d req/s=%8.0f speedup=%5.2fx elapsed=%v\n",
+			qd, r.ReqPerSec, r.ReqPerSec/base, r.Elapsed)
+		if st := r.ICASHStats; st != nil {
+			fmt.Fprintf(&b, "  log: txns=%d flushes=%d blocks=%d deltas=%d",
+				st.TxnsCommitted, st.FlushRuns, st.LogBlocksWritten, st.DeltasPacked)
+			if st.TxnsCommitted > 0 {
+				fmt.Fprintf(&b, " bytes/txn=%d", st.GroupCommitBytes/st.TxnsCommitted)
+			}
+			b.WriteString("\n")
+		}
 		b.WriteString(metrics.FormatStations(r.Stations, "  ", true))
 	}
 	return b.String(), firstErr

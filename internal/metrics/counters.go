@@ -50,6 +50,25 @@ func ResilienceCounters(st *core.Stats) []Counter {
 	}
 }
 
+// JournalCounters flattens the group-commit journal's accounting into
+// an ordered counter list: how many transactions committed, how much
+// payload each burst carried, the device time the commit writes cost,
+// and what recovery had to throw away. The order is part of the
+// contract: tools print and diff these tables.
+func JournalCounters(st *core.Stats) []Counter {
+	counters := []Counter{
+		{"txns_committed", st.TxnsCommitted},
+		{"group_commit_bytes", st.GroupCommitBytes},
+		{"commit_write_ns", int64(st.CommitWriteTime)},
+		{"txns_discarded_on_replay", st.TxnsDiscardedOnReplay},
+	}
+	labels := [...]string{"<=4KiB", "<=16KiB", "<=64KiB", "<=256KiB", "<=1MiB", ">1MiB"}
+	for i, n := range st.GroupCommitBatchHist {
+		counters = append(counters, Counter{"batch_" + labels[i], n})
+	}
+	return counters
+}
+
 // FaultCounters flattens a fault injector's accounting into an ordered
 // counter list.
 func FaultCounters(st *fault.Stats) []Counter {

@@ -32,6 +32,36 @@ func TestResilienceCountersComplete(t *testing.T) {
 	}
 }
 
+func TestJournalCountersComplete(t *testing.T) {
+	st := core.Stats{
+		TxnsCommitted:         7,
+		GroupCommitBytes:      12345,
+		TxnsDiscardedOnReplay: 2,
+	}
+	st.GroupCommitBatchHist[0] = 5
+	st.GroupCommitBatchHist[1] = 2
+	cs := JournalCounters(&st)
+	seen := map[string]int64{}
+	for _, c := range cs {
+		if _, dup := seen[c.Name]; dup {
+			t.Fatalf("duplicate counter %q", c.Name)
+		}
+		seen[c.Name] = c.Value
+	}
+	if seen["txns_committed"] != 7 || seen["group_commit_bytes"] != 12345 ||
+		seen["txns_discarded_on_replay"] != 2 || seen["batch_<=4KiB"] != 5 || seen["batch_<=16KiB"] != 2 {
+		t.Fatalf("counter values not carried through: %v", seen)
+	}
+	// One counter per histogram bucket plus the four scalars; order is
+	// part of the contract (scalars first, buckets ascending).
+	if len(cs) != 4+len(st.GroupCommitBatchHist) {
+		t.Fatalf("want %d counters, got %d", 4+len(st.GroupCommitBatchHist), len(cs))
+	}
+	if cs[0].Name != "txns_committed" || cs[len(cs)-1].Name != "batch_>1MiB" {
+		t.Fatalf("counter order changed: first %q last %q", cs[0].Name, cs[len(cs)-1].Name)
+	}
+}
+
 func TestFaultCountersCarryValues(t *testing.T) {
 	st := fault.Stats{Reads: 10, TornWrites: 2}
 	seen := map[string]int64{}

@@ -281,6 +281,27 @@ func RandRead() Profile {
 	}
 }
 
+// RandWrite is the write-side companion of RandRead: 4 KB content-local
+// random writes, no skew, negligible compute and page cache. Every
+// operation dirties a delta, so the run is dominated by the delta-log
+// commit path — the queue-depth appendix drives it against I-CASH to
+// show how group commit turns per-slot flushes into few large
+// sequential HDD I/Os as writers overlap.
+func RandWrite() Profile {
+	return Profile{
+		Name:        "RandWrite",
+		Description: "synthetic content-local 4KB random writes (group-commit scaling)",
+		DataBytes:   960 << 20,
+		PaperReads:  0, PaperWrites: 800_000,
+		AvgReadBytes: 4096, AvgWriteBytes: 4096,
+		Skew: 0, SeqFraction: 0,
+		MutFrac: 0.02, Families: 64, DupFrac: 0.05,
+		AppCPU: 100 * sim.Microsecond, IOsPerTxn: 1,
+		VMRAMBytes: 64 << 20, SSDCacheBytes: 96 << 20, DeltaRAMBytes: 32 << 20,
+		BaseCPUUtil: 0.10, PCFraction: 0.02, FreshWriteFrac: 0,
+	}
+}
+
 // Table4 returns every benchmark profile in the paper's Table 4 order.
 func Table4() []Profile {
 	return []Profile{
