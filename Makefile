@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: help check build vet lint fmt-check test race bench bench-smoke bench-profile alloc-gate fuzz-smoke clockcheck chaos chaos-smoke crash-sweep examples
+.PHONY: help check build vet lint fmt-check test race bench bench-smoke bench-profile alloc-gate fuzz-smoke clockcheck chaos chaos-smoke crash-sweep serve-smoke examples
 
 help: ## list targets (static analysis lives in lint = icash-vet)
 	@awk -F':.*## ' '/^[a-z-]+:.*## /{printf "%-12s %s\n", $$1, $$2}' Makefile
 
-check: fmt-check vet lint build race clockcheck bench-smoke alloc-gate crash-sweep ## everything CI's check job runs
+check: fmt-check vet lint build race clockcheck bench-smoke alloc-gate crash-sweep serve-smoke ## everything CI's check job runs
 
 build: ## go build ./...
 	$(GO) build ./...
@@ -43,9 +43,14 @@ fuzz-smoke: ## 10s per fuzz target, seeded from testdata corpora
 	$(GO) test ./internal/delta -fuzz FuzzDeltaRoundTrip -fuzztime 10s
 	$(GO) test ./internal/core -fuzz FuzzLogReplay -fuzztime 10s
 	$(GO) test ./internal/core -fuzz FuzzJournalReplay -fuzztime 10s
+	$(GO) test ./internal/server -fuzz FuzzFrameRoundTrip -fuzztime 10s
+	$(GO) test ./internal/server -fuzz FuzzSessionBytes -fuzztime 10s
 
 crash-sweep: ## crash-point recovery sweeps (fail-stop + fail-slow, journal-audited)
 	$(GO) test -count=1 -run 'TestCrash|TestNoCrashBaseline' ./internal/fault/crashtest/
+
+serve-smoke: ## block-service battery under -race: conformance, served-vs-inproc, crash sweep
+	$(GO) test -race -count=1 ./internal/server/
 
 clockcheck: ## sim tests with the runtime clock-ownership assertion
 	$(GO) test -tags clockcheck ./internal/sim/

@@ -10,6 +10,7 @@
 //	icash-bench -run fig15 -qd 8 -vms    # overlapping I/O, per-VM streams
 //	icash-bench -run all -parallel 1     # serial (historical) scheduling
 //	icash-bench -qdsweep                 # RAID0 queue-depth scaling table
+//	icash-bench -serve                   # served-vs-inproc window scaling table
 //	icash-bench -chaos                   # 20-seed chaos soak at QD=8
 //	icash-bench -chaos -seeds 5 -chaosops 5000
 //	icash-bench -run all -cpuprofile cpu.out -memprofile mem.out
@@ -39,6 +40,7 @@ import (
 	"icash/internal/fault/chaos"
 	"icash/internal/harness"
 	"icash/internal/metrics"
+	"icash/internal/server"
 	"icash/internal/workload"
 )
 
@@ -129,6 +131,7 @@ func realMain() int {
 		vms     = flag.Bool("vms", false, "run multi-VM benchmarks as interleaved per-VM streams")
 		qdsweep = flag.Bool("qdsweep", false, "print the RAID0 random-read queue-depth scaling table and exit")
 		wsweep  = flag.Bool("wsweep", false, "print the I-CASH random-write queue-depth scaling table (group-commit batching) and exit")
+		serve   = flag.Bool("serve", false, "print the served-vs-inproc window scaling table (block-service front-end) and exit")
 
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"experiment points to run concurrently (1 = historical serial scheduling; output is identical either way)")
@@ -189,7 +192,7 @@ func realMain() int {
 		return 0
 	}
 
-	if *qdsweep || *wsweep {
+	if *qdsweep || *wsweep || *serve {
 		opts := workload.Options{Seed: *seed}
 		scaleSet := false
 		flag.Visit(func(f *flag.Flag) {
@@ -203,6 +206,9 @@ func realMain() int {
 		sweep := harness.QDSweep
 		if *wsweep {
 			sweep = harness.WriteQDSweep
+		}
+		if *serve {
+			sweep = server.ServeSweep
 		}
 		report, err := sweep(nil, opts)
 		fmt.Print(report)

@@ -8,6 +8,13 @@
 //
 //	icash-inspect -bench SysBench
 //	icash-inspect -bench "TPC-C 5VMs" -scale 0.01
+//	icash-inspect -bench "TPC-C 5VMs" -serve -vms -window 8
+//
+// With -serve the workload arrives through the block-service front-end
+// (simulated framed sessions on the event engine) instead of the
+// in-process harness, and the dump is preceded by per-session wire
+// accounting: request mix, bytes on the wire, uplink-station
+// utilization, and end-to-end latency histograms.
 package main
 
 import (
@@ -18,16 +25,21 @@ import (
 	"text/tabwriter"
 
 	"icash/internal/blockdev"
+	"icash/internal/core"
 	"icash/internal/harness"
 	"icash/internal/metrics"
+	"icash/internal/server"
 	"icash/internal/workload"
 )
 
 func main() {
 	var (
-		bench = flag.String("bench", "SysBench", "benchmark name (see icash-trace)")
-		scale = flag.Float64("scale", 1.0/256, "workload scale")
-		seed  = flag.Uint64("seed", 42, "workload seed")
+		bench  = flag.String("bench", "SysBench", "benchmark name (see icash-trace)")
+		scale  = flag.Float64("scale", 1.0/256, "workload scale")
+		seed   = flag.Uint64("seed", 42, "workload seed")
+		serve  = flag.Bool("serve", false, "drive the array through the block-service front-end")
+		window = flag.Int("window", 8, "serve mode: per-session in-flight window")
+		vms    = flag.Bool("vms", false, "serve mode: one session per VM partition")
 	)
 	flag.Parse()
 
@@ -36,6 +48,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "icash-inspect: unknown benchmark %q\n", *bench)
 		os.Exit(2)
 	}
+
+	if *serve {
+		opts := workload.Options{Scale: *scale, Seed: *seed, StreamPerVM: *vms, QueueDepth: *window}
+		cfg := server.DefaultSimConfig()
+		cfg.Window = *window
+		sr, err := server.RunServed(p, opts, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icash-inspect: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(sr.Report())
+		fmt.Println()
+		dumpController(sr.Sys.ICASH, sr.Stats, sr.Degraded)
+		st := sr.Sys.SSD.Stats
+		fmt.Printf("\ndevices: SSD %s (%d host writes, %d erases, WA %.2f)\n",
+			workload.ByteSize(st.HostWrites*blockdev.BlockSize),
+			st.HostWrites, st.Erases, st.WriteAmplification())
+		return
+	}
+
 	opts := workload.Options{Scale: *scale, Seed: *seed}
 	br, err := harness.RunBenchmark(p, opts, []harness.Kind{harness.ICASH})
 	if err != nil {
@@ -52,8 +84,20 @@ func main() {
 	fmt.Printf("read latency  %s\n", res.ReadHist.String())
 	fmt.Printf("write latency %s\n\n", res.WriteHist.String())
 
+	dumpController(ctrl, st, res.Degraded)
+
+	fmt.Printf("\ndevices: SSD %s (%d host writes, %d erases, WA %.2f), HDD busy %v\n",
+		workload.ByteSize(int64(res.SSDHostWrites)*blockdev.BlockSize),
+		res.SSDHostWrites, res.SSDErases, res.SSDWriteAmp, res.HDDBusy)
+}
+
+// dumpController renders the controller-internal sections shared by the
+// direct and served paths: block mix, delta accounting, I/O paths,
+// reference management, journal, resilience, evictions, and the heatmap
+// spectrum.
+func dumpController(ctrl *core.Controller, st *core.Stats, degraded bool) {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	kinds := res.KindCounts
+	kinds := ctrl.KindCounts()
 	ref, assoc, indep := kinds.Fractions()
 	fmt.Fprintf(w, "block mix\treference %d (%.0f%%)\tassociate %d (%.0f%%)\tindependent %d (%.0f%%)\n",
 		kinds.Reference, 100*ref, kinds.Associate, 100*assoc, kinds.Independent, 100*indep)
@@ -118,7 +162,7 @@ func main() {
 	} else {
 		fmt.Println("  no faults observed")
 	}
-	if ctrl.Degraded() {
+	if degraded {
 		fmt.Println("  ** array is running in HDD-only degraded mode **")
 	}
 
@@ -149,8 +193,4 @@ func main() {
 		}
 		fmt.Println()
 	}
-
-	fmt.Printf("\ndevices: SSD %s (%d host writes, %d erases, WA %.2f), HDD busy %v\n",
-		workload.ByteSize(int64(res.SSDHostWrites)*blockdev.BlockSize),
-		res.SSDHostWrites, res.SSDErases, res.SSDWriteAmp, res.HDDBusy)
 }

@@ -59,6 +59,17 @@ var clockOwnerPkgs = map[string]bool{
 	"icash/internal/fault/chaos": true,
 }
 
+// engineOwnerPkgs are run-driving packages that own the clock only
+// through the event engine: they build schedulers and compose whole
+// served runs, but every instant they touch must come from a scheduled
+// event, never from mutating the clock directly. The block-service
+// front-end is the archetype — its sessions are stations on the
+// engine, so a direct Advance would fork the timeline out from under
+// its own scheduler. They get a tailored diagnostic instead of a pass.
+var engineOwnerPkgs = map[string]bool{
+	"icash/internal/server": true,
+}
+
 // clockMutators are the sim.Clock methods that move or rewind time.
 var clockMutators = map[string]bool{
 	"Advance": true, "AdvanceTo": true, "Reset": true,
@@ -93,8 +104,13 @@ func runDetClock(pass *Pass) {
 				}
 				if fn.Pkg().Path() == simPkgPath && clockMutators[fn.Name()] && isMethod(fn) && !ownsClock {
 					if recvIsSimClock(fn) {
-						pass.Reportf(n.Pos(),
-							"sim.Clock.%s called outside the run-driving packages: only the scheduler/harness layer advances time (see the clockcheck runtime assertion, internal/sim/clockcheck_on.go)", fn.Name())
+						if engineOwnerPkgs[pass.Pkg.Path()] {
+							pass.Reportf(n.Pos(),
+								"sim.Clock.%s in an engine-owner package: this package drives runs only through the event scheduler — schedule an event at the target instant instead of mutating the clock", fn.Name())
+						} else {
+							pass.Reportf(n.Pos(),
+								"sim.Clock.%s called outside the run-driving packages: only the scheduler/harness layer advances time (see the clockcheck runtime assertion, internal/sim/clockcheck_on.go)", fn.Name())
+						}
 					}
 				}
 			case *ast.CompositeLit:

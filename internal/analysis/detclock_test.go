@@ -29,6 +29,14 @@ func TestDetClockOutOfScope(t *testing.T) {
 	}
 }
 
+// TestDetClockEngineOwnerPackages proves engine-owner packages (the
+// block-service front-end) get the tailored diagnostic: they drive
+// runs, but only the scheduler may move their clock, so direct
+// mutation is still flagged — with the schedule-an-event message.
+func TestDetClockEngineOwnerPackages(t *testing.T) {
+	runFixture(t, DetClock, "engineclock", "icash/internal/server")
+}
+
 // TestDetClockAllowsOwnerPackages proves the clock-mutation rule stays
 // quiet in the run-driving packages: the same mutating calls that the
 // fixture flags are legal when the package is a clock owner.

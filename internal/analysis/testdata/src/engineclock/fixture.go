@@ -1,0 +1,16 @@
+// Package engineclock is the detclock fixture for engine-owner
+// packages: mounted at icash/internal/server, a package that drives
+// runs but owns the clock only through the event scheduler. Direct
+// mutation gets the tailored engine-owner diagnostic; reading the
+// clock and scheduling events stay legal.
+package engineclock
+
+import "icash/internal/sim"
+
+func driveServedRun(c *sim.Clock) sim.Time {
+	t := c.Now()                               // reading the clock is fine everywhere
+	c.Advance(10 * sim.Microsecond)            // want "engine-owner package"
+	c.AdvanceTo(5 * sim.Time(sim.Millisecond)) // want "schedule an event"
+	c.Reset()                                  // want "engine-owner package"
+	return t
+}

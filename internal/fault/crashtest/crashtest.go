@@ -74,16 +74,26 @@ func genContent(r *sim.Rand, family int) []byte {
 	return b
 }
 
-type oracle struct {
+// Oracle is the per-LBA durability oracle: the full history of values
+// ever written plus the durable floor raised at each acknowledged
+// flush. It is exported so run-drivers outside this package — the
+// block-service crash sweep — can hold the served path to the same
+// no-acked-write-lost standard.
+type Oracle struct {
 	history map[int64][][]byte
 	floor   map[int64]int
 }
 
-func newOracle() *oracle {
-	return &oracle{history: make(map[int64][][]byte), floor: make(map[int64]int)}
+// NewOracle returns an empty oracle.
+func NewOracle() *Oracle {
+	return &Oracle{history: make(map[int64][][]byte), floor: make(map[int64]int)}
 }
 
-func (o *oracle) noteWrite(lba int64, content []byte) {
+// NoteWrite appends content to lba's history. Call it for every write
+// the device may have absorbed: acknowledged writes, and the one write
+// a power cut interrupted (which may or may not have landed).
+
+func (o *Oracle) NoteWrite(lba int64, content []byte) {
 	if len(o.history[lba]) == 0 {
 		// History version 0 is the pre-write state (unwritten blocks
 		// read as zeros); a crash before the first flush legitimately
@@ -95,15 +105,15 @@ func (o *oracle) noteWrite(lba int64, content []byte) {
 	o.history[lba] = append(o.history[lba], c)
 }
 
-// noteFlush marks every LBA's current value durable.
-func (o *oracle) noteFlush() {
+// NoteFlush marks every LBA's current value durable.
+func (o *Oracle) NoteFlush() {
 	for lba, h := range o.history {
 		o.floor[lba] = len(h) - 1
 	}
 }
 
-// check validates a recovered value for lba.
-func (o *oracle) check(lba int64, got []byte) error {
+// Check validates a recovered value for lba.
+func (o *Oracle) Check(lba int64, got []byte) error {
 	h := o.history[lba]
 	if len(h) == 0 {
 		for _, b := range got {
@@ -150,9 +160,9 @@ func buildRig(cfg Config) (*rig, error) {
 // runWorkload issues the deterministic request stream, returning the
 // operation index of the power cut (-1 if none fired) and the oracle.
 // Any error other than the expected device loss is returned.
-func runWorkload(cfg Config, r *rig) (int, *oracle, error) {
+func runWorkload(cfg Config, r *rig) (int, *Oracle, error) {
 	rnd := sim.NewRand(cfg.Seed)
-	o := newOracle()
+	o := NewOracle()
 	buf := make([]byte, blockdev.BlockSize)
 	for op := 0; op < cfg.Ops; op++ {
 		lba := int64(rnd.Intn(int(cfg.LBASpace)))
@@ -162,7 +172,7 @@ func runWorkload(cfg Config, r *rig) (int, *oracle, error) {
 			content = genContent(rnd, int(lba%7))
 			_, err = r.c.WriteBlock(lba, content)
 			if err == nil {
-				o.noteWrite(lba, content)
+				o.NoteWrite(lba, content)
 				content = nil // recorded; don't re-note on a later flush error
 			}
 		} else {
@@ -171,7 +181,7 @@ func runWorkload(cfg Config, r *rig) (int, *oracle, error) {
 		if err == nil && cfg.FlushEvery > 0 && (op+1)%cfg.FlushEvery == 0 {
 			err = r.c.Flush()
 			if err == nil {
-				o.noteFlush()
+				o.NoteFlush()
 			}
 		}
 		if err != nil {
@@ -181,7 +191,7 @@ func runWorkload(cfg Config, r *rig) (int, *oracle, error) {
 				// its log record landed before the torn block, so it
 				// joins the history without raising the durable floor.
 				if content != nil {
-					o.noteWrite(lba, content)
+					o.NoteWrite(lba, content)
 				}
 				return op, o, nil
 			}
@@ -264,7 +274,7 @@ func RunCrash(cfg Config, crashWrite int64, tornBytes int) (Result, error) {
 		if _, err := rc.ReadBlock(lba, buf); err != nil {
 			return res, fmt.Errorf("read-back lba %d: %w", lba, err)
 		}
-		if err := o.check(lba, buf); err != nil {
+		if err := o.Check(lba, buf); err != nil {
 			return res, err
 		}
 	}

@@ -313,6 +313,14 @@ func benchConfig(p workload.Profile, opts workload.Options) BuildConfig {
 	return cfg
 }
 
+// ConfigForProfile returns the scaled build configuration RunBenchmark
+// would use for profile p — the hook external run-drivers (the block-
+// service front-end) use to build systems identical to the in-process
+// harness's, so served and direct runs are comparable point for point.
+func ConfigForProfile(p workload.Profile, opts workload.Options) BuildConfig {
+	return benchConfig(p, opts)
+}
+
 // pointResult is the output of one independent experiment point.
 type pointResult struct {
 	res   *Result

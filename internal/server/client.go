@@ -1,0 +1,70 @@
+package server
+
+// ReplyTracker is the client-side bookkeeping for one session: it
+// matches server replies to issued request ids and enforces the same
+// window discipline from the other end of the wire. The simulated
+// clients use it to verify every served completion; fuzzing uses it to
+// prove hostile reply streams (out-of-order, forged, duplicated ids)
+// are classified, never mis-accounted.
+type ReplyTracker struct {
+	window   int
+	inflight map[uint64]uint8 // id -> issued opcode
+	dec      Decoder
+	replies  []Reply
+}
+
+// NewReplyTracker returns a tracker enforcing the given window.
+func NewReplyTracker(window int) *ReplyTracker {
+	if window < 1 {
+		window = 1
+	}
+	return &ReplyTracker{window: window, inflight: make(map[uint64]uint8)}
+}
+
+// Outstanding returns the number of unanswered requests.
+func (t *ReplyTracker) Outstanding() int { return len(t.inflight) }
+
+// Issue records a request entering the window. Reusing an id still in
+// flight or exceeding the window is the client's own protocol bug and
+// faults immediately — the server would tear the session down anyway.
+func (t *ReplyTracker) Issue(id uint64, op uint8) error {
+	if _, dup := t.inflight[id]; dup {
+		return faultf(FaultDupID, "client: id %d already in flight", id)
+	}
+	if len(t.inflight) >= t.window {
+		return faultf(FaultWindow, "client: window %d full", t.window)
+	}
+	t.inflight[id] = op
+	return nil
+}
+
+// Feed parses received reply bytes, retiring matched requests. The
+// returned slice (valid until the next Feed) lists the completions in
+// wire order. A reply whose id was never issued or already completed is
+// FaultUnknownID; an opcode disagreeing with the issued request is
+// FaultOp.
+func (t *ReplyTracker) Feed(p []byte) ([]Reply, error) {
+	t.dec.Feed(p)
+	t.replies = t.replies[:0]
+	for {
+		rep, err := t.dec.NextReply()
+		if err == ErrNeedMore {
+			return t.replies, nil
+		}
+		if err != nil {
+			return t.replies, err
+		}
+		op, ok := t.inflight[rep.ID]
+		if !ok {
+			return t.replies, faultf(FaultUnknownID, "client: reply for id %d which is not in flight", rep.ID)
+		}
+		if op != rep.Op {
+			return t.replies, faultf(FaultOp, "client: reply op %d for id %d issued as op %d", rep.Op, rep.ID, op)
+		}
+		if rep.Op == OpRead && rep.Status != StatusOK && len(rep.Payload) != 0 {
+			return t.replies, faultf(FaultLength, "client: failed read %d carries %d payload bytes", rep.ID, len(rep.Payload))
+		}
+		delete(t.inflight, rep.ID)
+		t.replies = append(t.replies, rep)
+	}
+}

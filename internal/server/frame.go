@@ -1,0 +1,519 @@
+// Package server is the block-service front-end: an NBD-style framed
+// protocol (length-prefixed read/write/flush/trim RPCs with request
+// ids and CRC-protected headers, negotiated by a handshake) and the
+// session state machine that drives the I-CASH controller from it.
+//
+// The package deliberately owns no clock and no goroutines. A Session
+// is a pure byte-in/byte-out machine: callers feed it received bytes
+// and transmit whatever it returns. The simulated front-end (sim.go)
+// composes sessions as service stations on the discrete-event engine
+// under the single sim.Clock — a served run is bit-identical at any
+// worker count — while cmd/icash-serve can bind the very same Session
+// to a real TCP connection for interactive use.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"icash/internal/blockdev"
+)
+
+// Protocol constants. The frame grammar is:
+//
+//	client:  hello · (request)*
+//	server:  helloReply · (reply)*
+//
+// All integers are little-endian; every header ends in an IEEE CRC32
+// of the preceding header bytes, and a non-empty payload carries its
+// own trailing CRC32. See DESIGN.md §13 for the field tables.
+const (
+	// ProtocolVersion is negotiated by the handshake; the server
+	// refuses anything else.
+	ProtocolVersion = 1
+
+	// MaxWindow caps the negotiated per-session in-flight window.
+	MaxWindow = 64
+	// MaxBlocksPerRequest bounds one request's span — the same 64-block
+	// ceiling the workload generators respect. Together with the exact
+	// payload-length rules it is the decoder's allocation clamp: no
+	// declared length can make the decoder hold more than one maximal
+	// frame beyond the bytes actually received.
+	MaxBlocksPerRequest = 64
+	// MaxPayload is the largest legal frame payload.
+	MaxPayload = MaxBlocksPerRequest * blockdev.BlockSize
+
+	// AnyVM in hello.VM asks for the whole virtual disk instead of one
+	// VM's image partition.
+	AnyVM = 0xFFFFFFFF
+)
+
+// Frame magics: one distinct word per frame kind, so a desynchronized
+// stream is caught at the next header, not silently misparsed.
+const (
+	MagicHello      = 0x69634801
+	MagicHelloReply = 0x69634802
+	MagicRequest    = 0x69634803
+	MagicReply      = 0x69634804
+)
+
+// Request opcodes.
+const (
+	OpRead  = uint8(1)
+	OpWrite = uint8(2)
+	OpFlush = uint8(3)
+	OpTrim  = uint8(4)
+	OpClose = uint8(5)
+)
+
+// Reply status codes.
+const (
+	// StatusOK acknowledges a completed request. For writes, OK means
+	// the journal accepted the data; durability still requires a
+	// flush, exactly as on the in-process path.
+	StatusOK = uint8(0)
+	// StatusIO reports a device error the array absorbed (media or
+	// transient class); the session stays up.
+	StatusIO = uint8(1)
+	// StatusRange rejects a request outside the session's negotiated
+	// LBA partition.
+	StatusRange = uint8(2)
+)
+
+// Handshake status codes (helloReply.Status).
+const (
+	HandshakeOK      = uint32(0)
+	RefuseVersion    = uint32(1)
+	RefuseVM         = uint32(2)
+	RefuseBadRequest = uint32(3)
+)
+
+// Header sizes, including the trailing header CRC.
+const (
+	helloSize       = 24
+	helloReplySize  = 40
+	reqHeaderSize   = 36
+	replyHeaderSize = 28
+	crcSize         = 4
+)
+
+// FaultCode classifies a protocol violation. Every error the decoder
+// or session surfaces for hostile input is a *Fault carrying one of
+// these codes — fuzzing asserts the classification is total (no
+// panics, no bare errors).
+type FaultCode int
+
+const (
+	// FaultTruncated: the stream ended inside a frame.
+	FaultTruncated FaultCode = iota + 1
+	// FaultMagic: a header began with the wrong frame magic.
+	FaultMagic
+	// FaultVersion: the handshake offered an unsupported version.
+	FaultVersion
+	// FaultOp: an unknown opcode or reserved flag bits set.
+	FaultOp
+	// FaultCRC: a header or payload checksum mismatched.
+	FaultCRC
+	// FaultLength: block count or payload length outside the rules.
+	FaultLength
+	// FaultDupID: a request id reused while still in flight.
+	FaultDupID
+	// FaultWindow: more frames in flight than the negotiated window.
+	FaultWindow
+	// FaultState: a frame arrived in a state that cannot accept it
+	// (before the handshake completed, or after close).
+	FaultState
+	// FaultVM: the handshake asked for a VM partition the server does
+	// not serve.
+	FaultVM
+	// FaultUnknownID: a reply for an id that was never issued (or
+	// already completed) — the out-of-order/forged-reply case.
+	FaultUnknownID
+)
+
+// String names the code for fault summaries.
+func (c FaultCode) String() string {
+	switch c {
+	case FaultTruncated:
+		return "truncated"
+	case FaultMagic:
+		return "magic"
+	case FaultVersion:
+		return "version"
+	case FaultOp:
+		return "op"
+	case FaultCRC:
+		return "crc"
+	case FaultLength:
+		return "length"
+	case FaultDupID:
+		return "dup-id"
+	case FaultWindow:
+		return "window"
+	case FaultState:
+		return "state"
+	case FaultVM:
+		return "vm"
+	case FaultUnknownID:
+		return "unknown-id"
+	default:
+		return fmt.Sprintf("FaultCode(%d)", int(c))
+	}
+}
+
+// Fault is a classified protocol violation.
+type Fault struct {
+	Code   FaultCode
+	Detail string
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("server: protocol fault (%s): %s", f.Code, f.Detail)
+}
+
+func faultf(code FaultCode, format string, args ...any) *Fault {
+	return &Fault{Code: code, Detail: fmt.Sprintf(format, args...)}
+}
+
+// FaultOf extracts the classification of err. ok is false when err is
+// not a protocol fault (nil, ErrNeedMore, or a backend error).
+func FaultOf(err error) (FaultCode, bool) {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f.Code, true
+	}
+	return 0, false
+}
+
+// ErrNeedMore reports that the buffered bytes end mid-frame: not an
+// error, just an incomplete read. More Feed calls may complete it;
+// CloseStream converts a dangling partial frame into FaultTruncated.
+var ErrNeedMore = errors.New("server: incomplete frame")
+
+// Hello is the client's handshake offer.
+type Hello struct {
+	Version    uint16
+	WantWindow uint16
+	// VM selects one VM image partition, or AnyVM for the whole disk.
+	VM    uint32
+	Flags uint32
+}
+
+// HelloReply is the server's handshake answer. On HandshakeOK it
+// grants the window and describes the session's LBA partition; on a
+// refusal only Status is meaningful.
+type HelloReply struct {
+	Version   uint16
+	Window    uint16
+	Status    uint32
+	BlockSize uint32
+	FirstLBA  uint64
+	Blocks    uint64
+}
+
+// Request is one decoded client RPC. Payload aliases the decoder's
+// buffer and is valid until the next Feed call.
+type Request struct {
+	Op     uint8
+	ID     uint64
+	LBA    uint64
+	Blocks uint32
+	// Payload is exactly Blocks*BlockSize bytes for OpWrite, empty
+	// otherwise.
+	Payload []byte
+}
+
+// Reply is one decoded server response. Payload aliases the decoder's
+// buffer and is valid until the next Feed call.
+type Reply struct {
+	Op      uint8
+	Status  uint8
+	ID      uint64
+	Payload []byte
+}
+
+var crcTable = crc32.IEEETable
+
+func headerCRC(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
+
+// AppendHello encodes h onto dst.
+func AppendHello(dst []byte, h Hello) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, helloSize)...)
+	b := dst[off:]
+	binary.LittleEndian.PutUint32(b[0:4], MagicHello)
+	binary.LittleEndian.PutUint16(b[4:6], h.Version)
+	binary.LittleEndian.PutUint16(b[6:8], h.WantWindow)
+	binary.LittleEndian.PutUint32(b[8:12], h.VM)
+	binary.LittleEndian.PutUint32(b[12:16], h.Flags)
+	binary.LittleEndian.PutUint32(b[16:20], 0)
+	binary.LittleEndian.PutUint32(b[20:24], headerCRC(b[0:20]))
+	return dst
+}
+
+// AppendHelloReply encodes r onto dst.
+func AppendHelloReply(dst []byte, r HelloReply) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, helloReplySize)...)
+	b := dst[off:]
+	binary.LittleEndian.PutUint32(b[0:4], MagicHelloReply)
+	binary.LittleEndian.PutUint16(b[4:6], r.Version)
+	binary.LittleEndian.PutUint16(b[6:8], r.Window)
+	binary.LittleEndian.PutUint32(b[8:12], r.Status)
+	binary.LittleEndian.PutUint32(b[12:16], r.BlockSize)
+	binary.LittleEndian.PutUint64(b[16:24], r.FirstLBA)
+	binary.LittleEndian.PutUint64(b[24:32], r.Blocks)
+	binary.LittleEndian.PutUint32(b[32:36], 0)
+	binary.LittleEndian.PutUint32(b[36:40], headerCRC(b[0:36]))
+	return dst
+}
+
+// AppendRequest encodes req onto dst, computing both CRCs.
+func AppendRequest(dst []byte, req Request) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, reqHeaderSize)...)
+	b := dst[off:]
+	binary.LittleEndian.PutUint32(b[0:4], MagicRequest)
+	b[4] = req.Op
+	b[5] = 0
+	binary.LittleEndian.PutUint16(b[6:8], 0)
+	binary.LittleEndian.PutUint64(b[8:16], req.ID)
+	binary.LittleEndian.PutUint64(b[16:24], req.LBA)
+	binary.LittleEndian.PutUint32(b[24:28], req.Blocks)
+	binary.LittleEndian.PutUint32(b[28:32], uint32(len(req.Payload)))
+	binary.LittleEndian.PutUint32(b[32:36], headerCRC(b[0:32]))
+	if len(req.Payload) > 0 {
+		dst = append(dst, req.Payload...)
+		dst = binary.LittleEndian.AppendUint32(dst, headerCRC(req.Payload))
+	}
+	return dst
+}
+
+// AppendReply encodes rep onto dst, computing both CRCs.
+func AppendReply(dst []byte, rep Reply) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, replyHeaderSize)...)
+	b := dst[off:]
+	binary.LittleEndian.PutUint32(b[0:4], MagicReply)
+	b[4] = rep.Op
+	b[5] = rep.Status
+	binary.LittleEndian.PutUint16(b[6:8], 0)
+	binary.LittleEndian.PutUint64(b[8:16], rep.ID)
+	binary.LittleEndian.PutUint32(b[16:20], uint32(len(rep.Payload)))
+	binary.LittleEndian.PutUint32(b[20:24], 0)
+	binary.LittleEndian.PutUint32(b[24:28], headerCRC(b[0:24]))
+	if len(rep.Payload) > 0 {
+		dst = append(dst, rep.Payload...)
+		dst = binary.LittleEndian.AppendUint32(dst, headerCRC(rep.Payload))
+	}
+	return dst
+}
+
+// Decoder is a push parser over a framed byte stream. Feed appends
+// received bytes; the Next* methods consume one complete frame or
+// return ErrNeedMore. Any malformed frame returns a *Fault and leaves
+// the decoder poisoned (the stream has lost framing; the session tears
+// down).
+//
+// The decoder only ever buffers bytes it was fed — declared lengths
+// are validated against MaxPayload before any byte is awaited, so a
+// hostile length field cannot make it reserve memory.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// Feed appends received bytes to the parse buffer.
+func (d *Decoder) Feed(p []byte) {
+	// Compact consumed bytes once they dominate the buffer, so a
+	// long-lived session does not grow its buffer without bound.
+	if d.off > 0 && (d.off >= len(d.buf) || d.off >= 4096) {
+		d.buf = d.buf[:copy(d.buf, d.buf[d.off:])]
+		d.off = 0
+	}
+	d.buf = append(d.buf, p...)
+}
+
+// Buffered returns the number of unconsumed bytes.
+func (d *Decoder) Buffered() int { return len(d.buf) - d.off }
+
+// peek returns n unconsumed bytes without consuming them.
+func (d *Decoder) peek(n int) ([]byte, bool) {
+	if d.Buffered() < n {
+		return nil, false
+	}
+	return d.buf[d.off : d.off+n], true
+}
+
+func (d *Decoder) consume(n int) { d.off += n }
+
+// checkHeader validates the magic and trailing CRC of a header of size
+// n whose payload-covering CRC sits in the last 4 bytes.
+func checkHeader(b []byte, magic uint32, kind string) error {
+	if got := binary.LittleEndian.Uint32(b[0:4]); got != magic {
+		return faultf(FaultMagic, "%s frame magic %#x, want %#x", kind, got, magic)
+	}
+	n := len(b)
+	if got, want := binary.LittleEndian.Uint32(b[n-4:n]), headerCRC(b[:n-4]); got != want {
+		return faultf(FaultCRC, "%s header crc %#x, want %#x", kind, got, want)
+	}
+	return nil
+}
+
+// NextHello consumes the handshake frame.
+func (d *Decoder) NextHello() (Hello, error) {
+	b, ok := d.peek(helloSize)
+	if !ok {
+		return Hello{}, ErrNeedMore
+	}
+	if err := checkHeader(b, MagicHello, "hello"); err != nil {
+		return Hello{}, err
+	}
+	h := Hello{
+		Version:    binary.LittleEndian.Uint16(b[4:6]),
+		WantWindow: binary.LittleEndian.Uint16(b[6:8]),
+		VM:         binary.LittleEndian.Uint32(b[8:12]),
+		Flags:      binary.LittleEndian.Uint32(b[12:16]),
+	}
+	d.consume(helloSize)
+	return h, nil
+}
+
+// NextHelloReply consumes the handshake answer.
+func (d *Decoder) NextHelloReply() (HelloReply, error) {
+	b, ok := d.peek(helloReplySize)
+	if !ok {
+		return HelloReply{}, ErrNeedMore
+	}
+	if err := checkHeader(b, MagicHelloReply, "hello-reply"); err != nil {
+		return HelloReply{}, err
+	}
+	r := HelloReply{
+		Version:   binary.LittleEndian.Uint16(b[4:6]),
+		Window:    binary.LittleEndian.Uint16(b[6:8]),
+		Status:    binary.LittleEndian.Uint32(b[8:12]),
+		BlockSize: binary.LittleEndian.Uint32(b[12:16]),
+		FirstLBA:  binary.LittleEndian.Uint64(b[16:24]),
+		Blocks:    binary.LittleEndian.Uint64(b[24:32]),
+	}
+	d.consume(helloReplySize)
+	return r, nil
+}
+
+// validateRequest applies the per-op length rules. They are exact, not
+// bounds: a frame that is self-inconsistent is hostile, not sloppy.
+func validateRequest(op uint8, blocks, payloadLen uint32) error {
+	switch op {
+	case OpRead, OpTrim:
+		if blocks < 1 || blocks > MaxBlocksPerRequest {
+			return faultf(FaultLength, "op %d blocks %d outside [1,%d]", op, blocks, MaxBlocksPerRequest)
+		}
+		if payloadLen != 0 {
+			return faultf(FaultLength, "op %d carries %d payload bytes, want 0", op, payloadLen)
+		}
+	case OpWrite:
+		if blocks < 1 || blocks > MaxBlocksPerRequest {
+			return faultf(FaultLength, "write blocks %d outside [1,%d]", blocks, MaxBlocksPerRequest)
+		}
+		if payloadLen != blocks*blockdev.BlockSize {
+			return faultf(FaultLength, "write payload %dB for %d blocks, want %d",
+				payloadLen, blocks, blocks*blockdev.BlockSize)
+		}
+	case OpFlush, OpClose:
+		if blocks != 0 || payloadLen != 0 {
+			return faultf(FaultLength, "op %d with blocks=%d payload=%dB, want 0/0", op, blocks, payloadLen)
+		}
+	default:
+		return faultf(FaultOp, "unknown opcode %d", op)
+	}
+	return nil
+}
+
+// NextRequest consumes one complete request frame.
+func (d *Decoder) NextRequest() (Request, error) {
+	b, ok := d.peek(reqHeaderSize)
+	if !ok {
+		return Request{}, ErrNeedMore
+	}
+	if err := checkHeader(b, MagicRequest, "request"); err != nil {
+		return Request{}, err
+	}
+	if b[5] != 0 || binary.LittleEndian.Uint16(b[6:8]) != 0 {
+		return Request{}, faultf(FaultOp, "reserved request flag bits set")
+	}
+	req := Request{
+		Op:     b[4],
+		ID:     binary.LittleEndian.Uint64(b[8:16]),
+		LBA:    binary.LittleEndian.Uint64(b[16:24]),
+		Blocks: binary.LittleEndian.Uint32(b[24:28]),
+	}
+	payloadLen := binary.LittleEndian.Uint32(b[28:32])
+	// The length rules run before any payload byte is awaited: an
+	// oversized declared length is rejected here, never buffered for.
+	if err := validateRequest(req.Op, req.Blocks, payloadLen); err != nil {
+		return Request{}, err
+	}
+	total := reqHeaderSize
+	if payloadLen > 0 {
+		total += int(payloadLen) + crcSize
+	}
+	full, ok := d.peek(total)
+	if !ok {
+		return Request{}, ErrNeedMore
+	}
+	if payloadLen > 0 {
+		payload := full[reqHeaderSize : reqHeaderSize+int(payloadLen)]
+		if got, want := binary.LittleEndian.Uint32(full[total-crcSize:total]), headerCRC(payload); got != want {
+			return Request{}, faultf(FaultCRC, "request %d payload crc %#x, want %#x", req.ID, got, want)
+		}
+		req.Payload = payload
+	}
+	d.consume(total)
+	return req, nil
+}
+
+// NextReply consumes one complete reply frame.
+func (d *Decoder) NextReply() (Reply, error) {
+	b, ok := d.peek(replyHeaderSize)
+	if !ok {
+		return Reply{}, ErrNeedMore
+	}
+	if err := checkHeader(b, MagicReply, "reply"); err != nil {
+		return Reply{}, err
+	}
+	if binary.LittleEndian.Uint16(b[6:8]) != 0 || binary.LittleEndian.Uint32(b[20:24]) != 0 {
+		return Reply{}, faultf(FaultOp, "reserved reply bits set")
+	}
+	rep := Reply{
+		Op:     b[4],
+		Status: b[5],
+		ID:     binary.LittleEndian.Uint64(b[8:16]),
+	}
+	payloadLen := binary.LittleEndian.Uint32(b[16:20])
+	if payloadLen > MaxPayload {
+		return Reply{}, faultf(FaultLength, "reply payload %dB exceeds clamp %d", payloadLen, MaxPayload)
+	}
+	if payloadLen%blockdev.BlockSize != 0 {
+		return Reply{}, faultf(FaultLength, "reply payload %dB is not whole blocks", payloadLen)
+	}
+	total := replyHeaderSize
+	if payloadLen > 0 {
+		total += int(payloadLen) + crcSize
+	}
+	full, ok := d.peek(total)
+	if !ok {
+		return Reply{}, ErrNeedMore
+	}
+	if payloadLen > 0 {
+		payload := full[replyHeaderSize : replyHeaderSize+int(payloadLen)]
+		if got, want := binary.LittleEndian.Uint32(full[total-crcSize:total]), headerCRC(payload); got != want {
+			return Reply{}, faultf(FaultCRC, "reply %d payload crc %#x, want %#x", rep.ID, got, want)
+		}
+		rep.Payload = payload
+	}
+	d.consume(total)
+	return rep, nil
+}

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// TestFrameRoundTrips encodes one frame of every kind and decodes it
+// back, proving the Append*/Next* pairs agree on every field.
+func TestFrameRoundTrips(t *testing.T) {
+	t.Run("hello", func(t *testing.T) {
+		in := Hello{Version: ProtocolVersion, WantWindow: 17, VM: 3, Flags: 0}
+		var d Decoder
+		d.Feed(AppendHello(nil, in))
+		got, err := d.NextHello()
+		if err != nil {
+			t.Fatalf("NextHello: %v", err)
+		}
+		if got != in {
+			t.Fatalf("round trip: got %+v, want %+v", got, in)
+		}
+		if d.Buffered() != 0 {
+			t.Fatalf("%d bytes left after a whole frame", d.Buffered())
+		}
+	})
+	t.Run("hello-reply", func(t *testing.T) {
+		in := HelloReply{Version: ProtocolVersion, Window: 8, Status: HandshakeOK, BlockSize: 4096, FirstLBA: 1 << 20, Blocks: 1 << 16}
+		var d Decoder
+		d.Feed(AppendHelloReply(nil, in))
+		got, err := d.NextHelloReply()
+		if err != nil {
+			t.Fatalf("NextHelloReply: %v", err)
+		}
+		if got != in {
+			t.Fatalf("round trip: got %+v, want %+v", got, in)
+		}
+	})
+	t.Run("request", func(t *testing.T) {
+		payload := make([]byte, 2*4096)
+		for i := range payload {
+			payload[i] = byte(i * 7)
+		}
+		cases := []Request{
+			{Op: OpRead, ID: 1, LBA: 42, Blocks: 3},
+			{Op: OpWrite, ID: 2, LBA: 100, Blocks: 2, Payload: payload},
+			{Op: OpFlush, ID: 3},
+			{Op: OpTrim, ID: 4, LBA: 7, Blocks: 1},
+			{Op: OpClose, ID: 5},
+		}
+		for _, in := range cases {
+			var d Decoder
+			d.Feed(AppendRequest(nil, in))
+			got, err := d.NextRequest()
+			if err != nil {
+				t.Fatalf("op %d: NextRequest: %v", in.Op, err)
+			}
+			if got.Op != in.Op || got.ID != in.ID || got.LBA != in.LBA || got.Blocks != in.Blocks || !bytes.Equal(got.Payload, in.Payload) {
+				t.Fatalf("op %d: round trip mismatch: got %+v", in.Op, got)
+			}
+		}
+	})
+	t.Run("reply", func(t *testing.T) {
+		payload := make([]byte, 4096)
+		payload[0], payload[4095] = 0xAA, 0x55
+		cases := []Reply{
+			{Op: OpRead, Status: StatusOK, ID: 9, Payload: payload},
+			{Op: OpWrite, Status: StatusOK, ID: 10},
+			{Op: OpFlush, Status: StatusIO, ID: 11},
+			{Op: OpRead, Status: StatusRange, ID: 12},
+		}
+		for _, in := range cases {
+			var d Decoder
+			d.Feed(AppendReply(nil, in))
+			got, err := d.NextReply()
+			if err != nil {
+				t.Fatalf("id %d: NextReply: %v", in.ID, err)
+			}
+			if got.Op != in.Op || got.Status != in.Status || got.ID != in.ID || !bytes.Equal(got.Payload, in.Payload) {
+				t.Fatalf("id %d: round trip mismatch: got %+v", in.ID, got)
+			}
+		}
+	})
+}
+
+// TestFrameSplitFeeding delivers a request frame one byte at a time:
+// every prefix must report ErrNeedMore (never a fault, never a partial
+// decode) and the final byte must complete the frame.
+func TestFrameSplitFeeding(t *testing.T) {
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	frame := AppendRequest(nil, Request{Op: OpWrite, ID: 77, LBA: 5, Blocks: 1, Payload: payload})
+	var d Decoder
+	for i, b := range frame {
+		d.Feed([]byte{b})
+		req, err := d.NextRequest()
+		if i < len(frame)-1 {
+			if err != ErrNeedMore {
+				t.Fatalf("after %d of %d bytes: got err %v, want ErrNeedMore", i+1, len(frame), err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("full frame: %v", err)
+		}
+		if req.ID != 77 || !bytes.Equal(req.Payload, payload) {
+			t.Fatalf("full frame decoded wrong: %+v", req)
+		}
+	}
+	if d.Buffered() != 0 {
+		t.Fatalf("%d bytes left after the frame completed", d.Buffered())
+	}
+}
+
+// corrupt returns a copy of frame with the byte at off XORed.
+func corrupt(frame []byte, off int) []byte {
+	c := append([]byte(nil), frame...)
+	c[off] ^= 0xFF
+	return c
+}
+
+// TestFrameFaultClassification drives the decoder with malformed frames
+// and asserts each is rejected with the advertised fault code — never a
+// bare error, never a wrong decode.
+func TestFrameFaultClassification(t *testing.T) {
+	goodReq := AppendRequest(nil, Request{Op: OpFlush, ID: 1})
+	write := func(blocks, payloadLen uint32) []byte {
+		// Hand-build a header with inconsistent lengths; AppendRequest
+		// would refuse to, since it derives payloadLen from the slice.
+		b := make([]byte, reqHeaderSize)
+		binary.LittleEndian.PutUint32(b[0:4], MagicRequest)
+		b[4] = OpWrite
+		binary.LittleEndian.PutUint64(b[8:16], 9)
+		binary.LittleEndian.PutUint32(b[24:28], blocks)
+		binary.LittleEndian.PutUint32(b[28:32], payloadLen)
+		binary.LittleEndian.PutUint32(b[32:36], headerCRC(b[0:32]))
+		return b
+	}
+	cases := []struct {
+		name  string
+		frame []byte
+		want  FaultCode
+	}{
+		{"bad-magic", corrupt(goodReq, 0), FaultMagic},
+		{"bad-header-crc", corrupt(goodReq, 33), FaultCRC},
+		{"bad-id-under-crc", corrupt(goodReq, 9), FaultCRC},
+		{"unknown-op", func() []byte {
+			b := append([]byte(nil), goodReq...)
+			b[4] = 99
+			binary.LittleEndian.PutUint32(b[32:36], headerCRC(b[0:32]))
+			return b
+		}(), FaultOp},
+		{"reserved-flag-bits", func() []byte {
+			b := append([]byte(nil), goodReq...)
+			b[5] = 1
+			binary.LittleEndian.PutUint32(b[32:36], headerCRC(b[0:32]))
+			return b
+		}(), FaultOp},
+		{"write-zero-blocks", write(0, 0), FaultLength},
+		{"write-too-many-blocks", write(MaxBlocksPerRequest+1, (MaxBlocksPerRequest+1)*4096), FaultLength},
+		{"write-payload-mismatch", write(1, 4095), FaultLength},
+		{"oversized-declared-payload", write(2, 1<<30), FaultLength},
+		{"flush-with-blocks", func() []byte {
+			b := append([]byte(nil), goodReq...)
+			binary.LittleEndian.PutUint32(b[24:28], 1)
+			binary.LittleEndian.PutUint32(b[32:36], headerCRC(b[0:32]))
+			return b
+		}(), FaultLength},
+		{"bad-payload-crc", func() []byte {
+			f := AppendRequest(nil, Request{Op: OpWrite, ID: 2, LBA: 0, Blocks: 1, Payload: make([]byte, 4096)})
+			return corrupt(f, len(f)-1)
+		}(), FaultCRC},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var d Decoder
+			d.Feed(tc.frame)
+			_, err := d.NextRequest()
+			code, ok := FaultOf(err)
+			if !ok {
+				t.Fatalf("got err %v, want a *Fault", err)
+			}
+			if code != tc.want {
+				t.Fatalf("got fault %s, want %s (err: %v)", code, tc.want, err)
+			}
+		})
+	}
+}
+
+// TestDeclaredLengthNotBuffered proves the allocation clamp: a header
+// declaring a huge payload is rejected at header-parse time, before the
+// decoder waits for (or reserves) a single payload byte.
+func TestDeclaredLengthNotBuffered(t *testing.T) {
+	b := make([]byte, reqHeaderSize)
+	binary.LittleEndian.PutUint32(b[0:4], MagicRequest)
+	b[4] = OpWrite
+	binary.LittleEndian.PutUint32(b[24:28], 64)
+	binary.LittleEndian.PutUint32(b[28:32], 0xFFFFFF00) // declares ~4 GiB
+	binary.LittleEndian.PutUint32(b[32:36], headerCRC(b[0:32]))
+
+	var d Decoder
+	d.Feed(b)
+	_, err := d.NextRequest()
+	if code, ok := FaultOf(err); !ok || code != FaultLength {
+		t.Fatalf("got %v, want FaultLength at header parse", err)
+	}
+	if cap(d.buf) > 2*len(b) {
+		t.Fatalf("decoder reserved %d bytes for a declared-length attack (fed %d)", cap(d.buf), len(b))
+	}
+}
+
+// TestReplyLengthRules covers the reply-side clamp: payloads above
+// MaxPayload or not whole blocks are faults before any byte is awaited.
+func TestReplyLengthRules(t *testing.T) {
+	mk := func(payloadLen uint32) []byte {
+		b := make([]byte, replyHeaderSize)
+		binary.LittleEndian.PutUint32(b[0:4], MagicReply)
+		b[4] = OpRead
+		binary.LittleEndian.PutUint64(b[8:16], 1)
+		binary.LittleEndian.PutUint32(b[16:20], payloadLen)
+		binary.LittleEndian.PutUint32(b[24:28], headerCRC(b[0:24]))
+		return b
+	}
+	for _, tc := range []struct {
+		name       string
+		payloadLen uint32
+	}{
+		{"over-clamp", MaxPayload + 4096},
+		{"ragged", 100},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var d Decoder
+			d.Feed(mk(tc.payloadLen))
+			_, err := d.NextReply()
+			if code, ok := FaultOf(err); !ok || code != FaultLength {
+				t.Fatalf("got %v, want FaultLength", err)
+			}
+		})
+	}
+}
+
+// TestDecoderCompaction proves a long-lived stream does not grow the
+// parse buffer without bound: after many consumed frames the buffer
+// stays within a few frames of the high-water mark.
+func TestDecoderCompaction(t *testing.T) {
+	frame := AppendRequest(nil, Request{Op: OpFlush, ID: 1})
+	var d Decoder
+	for i := 0; i < 10000; i++ {
+		d.Feed(frame)
+		if _, err := d.NextRequest(); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	if cap(d.buf) > 64*len(frame) {
+		t.Fatalf("decoder buffer grew to %d bytes over a long session", cap(d.buf))
+	}
+}

@@ -1,0 +1,278 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"icash/internal/blockdev"
+)
+
+// hostileSeeds is the shared seed corpus: valid frames of every kind
+// plus the classic attacks — truncations, oversized declared lengths,
+// corrupt CRCs, wrong magics, duplicated ids, forged replies.
+func hostileSeeds() [][]byte {
+	payload := make([]byte, blockdev.BlockSize)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	hello := AppendHello(nil, Hello{Version: ProtocolVersion, WantWindow: 4, VM: AnyVM})
+	read := AppendRequest(nil, Request{Op: OpRead, ID: 1, LBA: 3, Blocks: 1})
+	write := AppendRequest(nil, Request{Op: OpWrite, ID: 2, LBA: 5, Blocks: 1, Payload: payload})
+	flush := AppendRequest(nil, Request{Op: OpFlush, ID: 3})
+	closeF := AppendRequest(nil, Request{Op: OpClose, ID: 4})
+	reply := AppendReply(nil, Reply{Op: OpRead, Status: StatusOK, ID: 1, Payload: payload})
+
+	oversized := append([]byte(nil), write...)
+	binary.LittleEndian.PutUint32(oversized[28:32], 0xFFFF0000)
+	binary.LittleEndian.PutUint32(oversized[32:36], headerCRC(oversized[0:32]))
+
+	badCRC := append([]byte(nil), read...)
+	badCRC[len(badCRC)-1] ^= 0xFF
+
+	badMagic := append([]byte(nil), read...)
+	badMagic[0] ^= 0xFF
+
+	dup := append(append([]byte(nil), read...), read...)
+
+	seeds := [][]byte{
+		hello,
+		append(append([]byte(nil), hello...), read...),
+		append(append(append([]byte(nil), hello...), write...), flush...),
+		append(append([]byte(nil), hello...), closeF...),
+		read[:10],            // truncated header
+		write[:len(write)-7], // truncated payload
+		oversized,            // declared-length attack
+		badCRC,
+		badMagic,
+		dup,   // duplicate ids in one burst
+		reply, // reply bytes where requests belong
+		append(append([]byte(nil), hello...), reply...),
+		bytes.Repeat([]byte{0x69}, 200), // magic-ish garbage
+		{},
+	}
+	return seeds
+}
+
+// FuzzFrameRoundTrip throws arbitrary bytes at every decoder entry
+// point. The invariants: no panic, every error is ErrNeedMore or a
+// classified *Fault, the decoder never buffers beyond what it was fed,
+// and any frame that does decode re-encodes to a decodable equal.
+func FuzzFrameRoundTrip(f *testing.F) {
+	for _, s := range hostileSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		check := func(kind string, err error) {
+			if err == nil || err == ErrNeedMore {
+				return
+			}
+			if _, ok := FaultOf(err); !ok {
+				t.Fatalf("%s: unclassified error %v", kind, err)
+			}
+		}
+		// Each Next* on its own decoder: whatever the bytes are, the
+		// answer is a decode, ErrNeedMore, or a classified fault.
+		var dh, dr Decoder
+		dh.Feed(data)
+		_, err := dh.NextHello()
+		check("hello", err)
+		dh = Decoder{}
+		dh.Feed(data)
+		_, err = dh.NextHelloReply()
+		check("hello-reply", err)
+
+		// Requests in a loop, as a session would drain a burst.
+		dr.Feed(data)
+		for {
+			req, err := dr.NextRequest()
+			if err != nil {
+				check("request", err)
+				break
+			}
+			// Round trip: re-encoding the decoded frame and decoding it
+			// again must yield the same request.
+			var d2 Decoder
+			d2.Feed(AppendRequest(nil, req))
+			req2, err := d2.NextRequest()
+			if err != nil {
+				t.Fatalf("re-encoded request failed to decode: %v", err)
+			}
+			if req2.Op != req.Op || req2.ID != req.ID || req2.LBA != req.LBA ||
+				req2.Blocks != req.Blocks || !bytes.Equal(req2.Payload, req.Payload) {
+				t.Fatalf("request round trip diverged: %+v vs %+v", req, req2)
+			}
+		}
+		// Allocation clamp: the buffer holds only bytes actually fed
+		// (append growth at most doubles).
+		if cap(dr.buf) > 2*len(data)+64 {
+			t.Fatalf("decoder holds %d bytes cap for %d fed", cap(dr.buf), len(data))
+		}
+
+		var dp Decoder
+		dp.Feed(data)
+		for {
+			rep, err := dp.NextReply()
+			if err != nil {
+				check("reply", err)
+				break
+			}
+			var d2 Decoder
+			d2.Feed(AppendReply(nil, rep))
+			rep2, err := d2.NextReply()
+			if err != nil {
+				t.Fatalf("re-encoded reply failed to decode: %v", err)
+			}
+			if rep2.Op != rep.Op || rep2.Status != rep.Status || rep2.ID != rep.ID ||
+				!bytes.Equal(rep2.Payload, rep.Payload) {
+				t.Fatalf("reply round trip diverged: %+v vs %+v", rep, rep2)
+			}
+		}
+	})
+}
+
+// FuzzSessionBytes drives a full session (and the client-side tracker)
+// with arbitrary byte streams, delivered in uneven chunks the way a
+// transport would. Invariants: no panic, a fatal error is always a
+// classified *Fault (the backend never fails here), a failed session
+// stays failed, and CloseStream always classifies.
+func FuzzSessionBytes(f *testing.F) {
+	for _, s := range hostileSeeds() {
+		f.Add(s)
+	}
+	// A burst overflowing the window, preceded by a valid handshake.
+	over := AppendHello(nil, Hello{Version: ProtocolVersion, WantWindow: 2, VM: AnyVM})
+	for i := 0; i < 4; i++ {
+		over = AppendRequest(over, Request{Op: OpRead, ID: uint64(i), LBA: 0, Blocks: 1})
+	}
+	f.Add(over)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		backend := &memBackend{n: 64}
+		sess := NewSession("fuzz", backend, SessionOptions{MaxWindow: 4})
+		// Deliver in chunks of varying size so frame boundaries land
+		// mid-header, mid-payload, everywhere.
+		var fatal error
+		for off, n := 0, 0; off < len(data); off += n {
+			n = 7 + (off % 31)
+			if off+n > len(data) {
+				n = len(data) - off
+			}
+			out, err := sess.Feed(data[off : off+n])
+			// Whatever comes back is frame-aligned bytes or nothing; a
+			// tracker must be able to parse the stream without panics.
+			_ = out
+			if err != nil {
+				if _, ok := FaultOf(err); !ok {
+					t.Fatalf("session error unclassified: %v", err)
+				}
+				fatal = err
+				break
+			}
+		}
+		if fatal != nil {
+			if sess.State() != StateFailed && sess.State() != StateClosed {
+				t.Fatalf("session errored but state is %s", sess.State())
+			}
+			// A dead session must stay dead: more bytes never resurrect it.
+			if out, _ := sess.Feed([]byte{1, 2, 3}); sess.State() == StateServing || len(out) > 0 {
+				t.Fatalf("failed session came back to life (state %s)", sess.State())
+			}
+		}
+		if err := sess.CloseStream(); err != nil {
+			if _, ok := FaultOf(err); !ok {
+				t.Fatalf("CloseStream unclassified: %v", err)
+			}
+		}
+		// Allocation clamp at the session level too.
+		if cap(sess.dec.buf) > 2*len(data)+64 {
+			t.Fatalf("session decoder holds %d cap for %d fed", cap(sess.dec.buf), len(data))
+		}
+
+		// The client tracker fed the same hostile bytes as a reply
+		// stream: classified faults only, no panics, no mis-accounting
+		// below zero.
+		tr := NewReplyTracker(4)
+		for i := uint64(0); i < 4; i++ {
+			if err := tr.Issue(i, OpRead); err != nil {
+				t.Fatalf("issue %d: %v", i, err)
+			}
+		}
+		if _, err := tr.Feed(data); err != nil {
+			if _, ok := FaultOf(err); !ok {
+				t.Fatalf("tracker error unclassified: %v", err)
+			}
+		}
+		if tr.Outstanding() < 0 || tr.Outstanding() > 4 {
+			t.Fatalf("tracker outstanding %d out of range", tr.Outstanding())
+		}
+	})
+}
+
+// TestReplyTrackerHostileStreams pins the tracker's fault taxonomy with
+// crafted reply streams (the fuzzer explores around these).
+func TestReplyTrackerHostileStreams(t *testing.T) {
+	t.Run("unknown-id", func(t *testing.T) {
+		tr := NewReplyTracker(4)
+		_, err := tr.Feed(AppendReply(nil, Reply{Op: OpRead, Status: StatusOK, ID: 99}))
+		if code, ok := FaultOf(err); !ok || code != FaultUnknownID {
+			t.Fatalf("got %v, want FaultUnknownID", err)
+		}
+	})
+	t.Run("duplicated-reply", func(t *testing.T) {
+		tr := NewReplyTracker(4)
+		if err := tr.Issue(1, OpWrite); err != nil {
+			t.Fatal(err)
+		}
+		frame := AppendReply(nil, Reply{Op: OpWrite, Status: StatusOK, ID: 1})
+		if _, err := tr.Feed(frame); err != nil {
+			t.Fatalf("first reply: %v", err)
+		}
+		_, err := tr.Feed(frame)
+		if code, ok := FaultOf(err); !ok || code != FaultUnknownID {
+			t.Fatalf("replayed reply: got %v, want FaultUnknownID", err)
+		}
+	})
+	t.Run("op-mismatch", func(t *testing.T) {
+		tr := NewReplyTracker(4)
+		if err := tr.Issue(1, OpWrite); err != nil {
+			t.Fatal(err)
+		}
+		_, err := tr.Feed(AppendReply(nil, Reply{Op: OpRead, Status: StatusOK, ID: 1}))
+		if code, ok := FaultOf(err); !ok || code != FaultOp {
+			t.Fatalf("got %v, want FaultOp", err)
+		}
+	})
+	t.Run("out-of-order-is-legal", func(t *testing.T) {
+		// Reply order is the server's choice; the tracker matches by id.
+		tr := NewReplyTracker(4)
+		for i := uint64(1); i <= 3; i++ {
+			if err := tr.Issue(i, OpWrite); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var stream []byte
+		for _, id := range []uint64{3, 1, 2} {
+			stream = AppendReply(stream, Reply{Op: OpWrite, Status: StatusOK, ID: id})
+		}
+		reps, err := tr.Feed(stream)
+		if err != nil {
+			t.Fatalf("out-of-order replies: %v", err)
+		}
+		if len(reps) != 3 || reps[0].ID != 3 || reps[1].ID != 1 || reps[2].ID != 2 {
+			t.Fatalf("completions %v, want ids 3,1,2", reps)
+		}
+		if tr.Outstanding() != 0 {
+			t.Fatalf("outstanding %d, want 0", tr.Outstanding())
+		}
+	})
+	t.Run("window-overflow-on-issue", func(t *testing.T) {
+		tr := NewReplyTracker(2)
+		tr.Issue(1, OpRead)
+		tr.Issue(2, OpRead)
+		err := tr.Issue(3, OpRead)
+		if code, ok := FaultOf(err); !ok || code != FaultWindow {
+			t.Fatalf("got %v, want FaultWindow", err)
+		}
+	})
+}

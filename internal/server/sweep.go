@@ -1,0 +1,97 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"icash/internal/harness"
+	"icash/internal/metrics"
+	"icash/internal/workload"
+)
+
+// servePoint is one depth's pair of runs, gathered by index so the
+// table renders in submission order at any worker count.
+type servePoint struct {
+	direct *harness.BenchmarkRun
+	served *ServeResult
+	err    error
+}
+
+// ServeSweep measures the cost of the wire: the RandRead
+// microbenchmark on I-CASH, in-process versus served through framed
+// sessions, across in-flight windows. Each depth is two independent
+// simulations (direct and served), fanned across harness.Parallelism()
+// workers; the table is rendered in depth order, so the report is
+// byte-identical at every worker count.
+func ServeSweep(depths []int, opts workload.Options) (string, error) {
+	if len(depths) == 0 {
+		depths = []int{1, 2, 4, 8, 16}
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = harness.QDSweepScale
+	}
+	if opts.MaxOps <= 0 {
+		opts.MaxOps = 4000
+	}
+	p := workload.RandRead()
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== serve: %s on I-CASH, in-process vs block-service (scale %.5f, %d ops) ===\n",
+		p.Name, opts.Scale, opts.MaxOps)
+
+	points := make([]servePoint, len(depths))
+	workers := harness.Parallelism()
+	if workers > len(depths) {
+		workers = len(depths)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(depths) {
+					return
+				}
+				o := opts
+				o.QueueDepth = depths[i]
+				pt := servePoint{}
+				pt.direct, pt.err = harness.RunBenchmark(p, o, []harness.Kind{harness.ICASH})
+				if pt.err == nil {
+					cfg := DefaultSimConfig()
+					cfg.Window = depths[i]
+					pt.served, pt.err = RunServed(p, o, cfg)
+				}
+				points[i] = pt
+			}
+		}()
+	}
+	wg.Wait()
+
+	var firstErr error
+	for i, qd := range depths {
+		pt := points[i]
+		if pt.err != nil {
+			if firstErr == nil {
+				firstErr = pt.err
+			}
+			fmt.Fprintf(&b, "qd=%-3d FAILED: %v\n", qd, pt.err)
+			continue
+		}
+		d := pt.direct.Results[harness.ICASH]
+		s := pt.served
+		ratio := 0.0
+		if d.ReqPerSec > 0 {
+			ratio = s.ReqPerSec / d.ReqPerSec
+		}
+		fmt.Fprintf(&b, "qd=%-3d inproc=%8.0f req/s  served=%8.0f req/s  ratio=%4.2fx  served p99 read=%v\n",
+			qd, d.ReqPerSec, s.ReqPerSec, ratio, s.ReadHist.P99())
+		for _, sess := range s.Sessions {
+			b.WriteString(metrics.FormatStations([]metrics.StationStats{sess.Station}, "  ", true))
+		}
+	}
+	return b.String(), firstErr
+}
