@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: help check build vet lint fmt-check test race bench bench-smoke bench-profile alloc-gate fuzz-smoke clockcheck chaos chaos-smoke crash-sweep serve-smoke examples
+.PHONY: help check build vet lint fmt-check test race bench bench-smoke bench-profile alloc-gate fuzz-smoke clockcheck chaos chaos-smoke crash-sweep serve-smoke scrub-smoke examples
 
 help: ## list targets (static analysis lives in lint = icash-vet)
 	@awk -F':.*## ' '/^[a-z-]+:.*## /{printf "%-12s %s\n", $$1, $$2}' Makefile
 
-check: fmt-check vet lint build race clockcheck bench-smoke alloc-gate crash-sweep serve-smoke ## everything CI's check job runs
+check: fmt-check vet lint build race clockcheck bench-smoke alloc-gate crash-sweep serve-smoke scrub-smoke ## everything CI's check job runs
 
 build: ## go build ./...
 	$(GO) build ./...
@@ -13,7 +13,7 @@ build: ## go build ./...
 vet: ## stdlib go vet
 	$(GO) vet ./...
 
-lint: ## icash-vet: repo-specific analyzers (detclock, maporder, errclass, latcharge, poolreturn)
+lint: ## icash-vet: repo-specific analyzers (detclock, maporder, errclass, latcharge, poolreturn, verifyread)
 	$(GO) run ./cmd/icash-vet ./...
 
 fmt-check: ## fail on gofmt drift
@@ -58,6 +58,10 @@ clockcheck: ## sim tests with the runtime clock-ownership assertion
 chaos: ## 20-seed chaos soak (fail-slow + fail-stop, oracle-checked)
 	$(GO) run ./cmd/icash-bench -chaos
 
+scrub-smoke: ## seeded silent-corruption battery under -race: checksums, scrubber, verified repair
+	$(GO) test -race -count=1 -run 'TestChaosSilent|TestChaosScrub' ./internal/fault/chaos/
+	$(GO) run ./cmd/icash-bench -bitrot -seeds 5 -chaosops 1000
+
 chaos-smoke: ## fixed-seed chaos battery under the race detector
 	$(GO) test -race -count=1 -run 'TestChaos|TestDetector|TestSchedule' ./internal/fault/...
 
@@ -66,3 +70,4 @@ examples:
 	$(GO) run ./examples/recovery
 	$(GO) run ./examples/oltp
 	$(GO) run ./examples/vmimages
+	$(GO) run ./examples/bitrot

@@ -13,6 +13,8 @@
 //	icash-bench -serve                   # served-vs-inproc window scaling table
 //	icash-bench -chaos                   # 20-seed chaos soak at QD=8
 //	icash-bench -chaos -seeds 5 -chaosops 5000
+//	icash-bench -scrub                   # scrub-overhead table (clean soaks, off vs on)
+//	icash-bench -bitrot                  # seeded silent-corruption soak, scrubber on
 //	icash-bench -run all -cpuprofile cpu.out -memprofile mem.out
 //
 // Each experiment prints measured values next to the paper's reported
@@ -41,6 +43,7 @@ import (
 	"icash/internal/harness"
 	"icash/internal/metrics"
 	"icash/internal/server"
+	"icash/internal/sim"
 	"icash/internal/workload"
 )
 
@@ -49,6 +52,35 @@ import (
 type chaosSeedResult struct {
 	res *chaos.Result
 	err error
+}
+
+// fanSeeds runs f(0..n-1) across the harness worker pool and returns
+// the results in index order — the same submission-order reassembly
+// the experiment runner uses, so every report is byte-identical at any
+// -parallel count.
+func fanSeeds(n int, f func(i int) chaosSeedResult) []chaosSeedResult {
+	outs := make([]chaosSeedResult, n)
+	workers := harness.Parallelism()
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				outs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return outs
 }
 
 // runChaos drives n chaos-soak seeds — fanned across the harness's
@@ -70,29 +102,11 @@ func runChaos(base uint64, n, ops, qd int) error {
 		qd = 8
 	}
 	fmt.Printf("chaos soak: %d seeds from %d, %d ops/seed, QD=%d\n", n, base, ops, qd)
-	outs := make([]chaosSeedResult, n)
-	workers := harness.Parallelism()
-	if workers > n {
-		workers = n
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				cfg := chaos.Config{Seed: base + uint64(i), Ops: ops, QueueDepth: qd}
-				res, err := chaos.Run(cfg)
-				outs[i] = chaosSeedResult{res: res, err: err}
-			}
-		}()
-	}
-	wg.Wait()
+	outs := fanSeeds(n, func(i int) chaosSeedResult {
+		cfg := chaos.Config{Seed: base + uint64(i), Ops: ops, QueueDepth: qd}
+		res, err := chaos.Run(cfg)
+		return chaosSeedResult{res: res, err: err}
+	})
 	for i, out := range outs {
 		if out.err != nil {
 			failed = append(failed, base+uint64(i))
@@ -114,6 +128,128 @@ func runChaos(base uint64, n, ops, qd int) error {
 		return fmt.Errorf("chaos: %d of %d seeds failed: %v", len(failed), n, failed)
 	}
 	fmt.Printf("all %d seeds clean: invariants held, zero silent data loss\n", n)
+	return nil
+}
+
+// runScrubOverhead prints the cost of running the background integrity
+// scrubber on an otherwise healthy system: clean soaks (no fault
+// injection of any kind) with the scrubber off and at two interval
+// settings, so the throughput and tail-latency deltas are pure scrub
+// overhead — the scrubber's reads share the devices with host I/O.
+func runScrubOverhead(base uint64, n, ops, qd int) error {
+	if qd <= 0 {
+		qd = 8
+	}
+	arms := []struct {
+		name     string
+		interval sim.Duration
+	}{
+		{"off", 0},
+		{"10ms", 10 * sim.Millisecond},
+		{"2ms", 2 * sim.Millisecond},
+	}
+	fmt.Printf("scrub overhead: %d clean seeds from %d, %d ops/seed, QD=%d\n", n, base, ops, qd)
+	fmt.Printf("%-6s %9s %10s %9s %9s %9s %8s %8s %7s\n",
+		"scrub", "ops", "ops/sec", "read p50", "read p99", "write p99", "slotchk", "homechk", "passes")
+	for _, arm := range arms {
+		outs := fanSeeds(n, func(i int) chaosSeedResult {
+			cfg := chaos.Config{
+				Seed: base + uint64(i), Ops: ops, QueueDepth: qd,
+				NoFailStop: true, NoFailSlow: true,
+				ScrubInterval: arm.interval,
+			}
+			res, err := chaos.Run(cfg)
+			return chaosSeedResult{res: res, err: err}
+		})
+		var (
+			readAll, writeAll              metrics.Histogram
+			totalOps                       int64
+			elapsed                        sim.Duration
+			slotChecks, homeChecks, passes int64
+		)
+		for i, out := range outs {
+			if out.err != nil {
+				return fmt.Errorf("scrub overhead: seed %d (%s): %w", base+uint64(i), arm.name, out.err)
+			}
+			res := out.res
+			if res.Stats.CorruptionsDetected != 0 {
+				return fmt.Errorf("scrub overhead: seed %d (%s): %d corruptions detected on a clean run",
+					base+uint64(i), arm.name, res.Stats.CorruptionsDetected)
+			}
+			readAll.Merge(&res.ReadHist)
+			writeAll.Merge(&res.WriteHist)
+			totalOps += res.Ops
+			elapsed += res.Elapsed
+			slotChecks += res.Stats.ScrubSlotChecks
+			homeChecks += res.Stats.ScrubHomeChecks
+			passes += res.Stats.ScrubPasses
+		}
+		opsPerSec := float64(totalOps) / (float64(elapsed) / float64(sim.Second))
+		fmt.Printf("%-6s %9d %10.0f %9v %9v %9v %8d %8d %7d\n",
+			arm.name, totalOps, opsPerSec,
+			readAll.P50(), readAll.P99(), writeAll.P99(),
+			slotChecks, homeChecks, passes)
+	}
+	return nil
+}
+
+// runBitrot drives the seeded silent-corruption soak: every seed gets
+// a generated schedule of bit-flip / misdirected-write / lost-write
+// windows on both devices with the scrubber on, and the report
+// aggregates how much damage was injected, how fast the checksums
+// caught it, and how much of it could be repaired. Any wrong byte
+// reaching the host beyond the controller's own accounted loss fails
+// the run — the zero-undetected-corruption bound.
+func runBitrot(base uint64, n, ops, qd int) error {
+	if qd <= 0 {
+		qd = 8
+	}
+	fmt.Printf("bit-rot soak: %d seeds from %d, %d ops/seed, QD=%d, scrubber on\n", n, base, ops, qd)
+	outs := fanSeeds(n, func(i int) chaosSeedResult {
+		// Pure silent-corruption arm: fail-stop and fail-slow injection
+		// off, so every wrong byte, detection, and repair in the report
+		// traces back to a lying device — the combined-mode soak lives
+		// under -chaos.
+		cfg := chaos.Config{
+			Seed: base + uint64(i), Ops: ops, QueueDepth: qd,
+			NoFailStop: true, NoFailSlow: true,
+			SilentFaults:  true,
+			ScrubInterval: 5 * sim.Millisecond,
+		}
+		res, err := chaos.Run(cfg)
+		return chaosSeedResult{res: res, err: err}
+	})
+	var (
+		detectAll                           metrics.Histogram
+		injected, detected, repaired, unrep int64
+		uncaught, dropped                   int64
+		failed                              []uint64
+	)
+	for i, out := range outs {
+		if out.err != nil {
+			failed = append(failed, base+uint64(i))
+			fmt.Printf("  FAIL %v\n", out.err)
+			continue
+		}
+		res := out.res
+		fmt.Printf("  %s\n", res)
+		injected += res.SSDFault.BitFlips + res.SSDFault.MisdirectedWrites + res.SSDFault.LostWrites +
+			res.HDDFault.BitFlips + res.HDDFault.MisdirectedWrites + res.HDDFault.LostWrites
+		detected += res.Stats.CorruptionsDetected
+		repaired += res.Stats.CorruptionsRepaired
+		unrep += res.Stats.UnrepairableBlocks
+		uncaught += res.SilentUncaught
+		dropped += res.Stats.DroppedLogRecs
+		detectAll.Merge(&res.DetectLat)
+	}
+	fmt.Printf("injected %d (ssd+hdd), detected %d, repaired %d, unrepairable %d, dropped log recs %d\n",
+		injected, detected, repaired, unrep, dropped)
+	fmt.Printf("never host-visible (cold, uncaught at end) %d\n", uncaught)
+	fmt.Printf("detection latency %s\n", detectAll.String())
+	if failed != nil {
+		return fmt.Errorf("bitrot: %d of %d seeds failed: %v", len(failed), n, failed)
+	}
+	fmt.Printf("all %d seeds clean: every host-visible corruption caught and accounted\n", n)
 	return nil
 }
 
@@ -139,8 +275,11 @@ func realMain() int {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
 		chaos    = flag.Bool("chaos", false, "run the deterministic chaos soak (fail-slow + fail-stop schedules, oracle-checked)")
-		seeds    = flag.Int("seeds", 20, "chaos: number of consecutive seeds, starting at -seed")
-		chaosops = flag.Int("chaosops", 2000, "chaos: measured operations per seed")
+		seeds    = flag.Int("seeds", 20, "chaos/scrub/bitrot: number of consecutive seeds, starting at -seed")
+		chaosops = flag.Int("chaosops", 2000, "chaos/scrub/bitrot: measured operations per seed")
+
+		scrub  = flag.Bool("scrub", false, "print the scrub-overhead table (clean soaks, scrubber off vs on) and exit")
+		bitrot = flag.Bool("bitrot", false, "run the seeded bit-rot soak (silent-corruption schedules, scrubber on, oracle-checked) and exit")
 	)
 	flag.Parse()
 	harness.SetParallelism(*parallel)
@@ -175,17 +314,26 @@ func realMain() int {
 		}()
 	}
 
-	if *chaos {
+	if *chaos || *scrub || *bitrot {
 		// The shared -qd flag defaults to 1 for the classic experiments;
-		// the chaos soak's own default is QD=8, so only an explicit -qd
+		// the soak modes' own default is QD=8, so only an explicit -qd
 		// overrides it.
-		chaosQD := 0
+		soakQD := 0
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "qd" {
-				chaosQD = *qd
+				soakQD = *qd
 			}
 		})
-		if err := runChaos(*seed, *seeds, *chaosops, chaosQD); err != nil {
+		var err error
+		switch {
+		case *scrub:
+			err = runScrubOverhead(*seed, *seeds, *chaosops, soakQD)
+		case *bitrot:
+			err = runBitrot(*seed, *seeds, *chaosops, soakQD)
+		default:
+			err = runChaos(*seed, *seeds, *chaosops, soakQD)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "icash-bench: %v\n", err)
 			return 1
 		}

@@ -166,6 +166,16 @@ func dumpController(ctrl *core.Controller, st *core.Stats, degraded bool) {
 		fmt.Println("  ** array is running in HDD-only degraded mode **")
 	}
 
+	fmt.Println("\nintegrity (checksums, scrubbing, verified repair):")
+	if table := metrics.FormatCounters(metrics.IntegrityCounters(st), "  ", true); table != "" {
+		fmt.Print(table)
+	} else {
+		fmt.Println("  no corruption observed, scrubber idle")
+	}
+	if n := ctrl.PoisonedBlocks(); n > 0 {
+		fmt.Printf("  ** %d blocks poisoned (unrepairable; awaiting overwrite) **\n", n)
+	}
+
 	fmt.Println("\nevictions:")
 	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "  virtual blocks / data RAM / delta RAM\t%d / %d / %d\n",

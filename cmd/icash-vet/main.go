@@ -1,7 +1,8 @@
 // Command icash-vet runs the repo-specific static analyzer suite
-// (internal/analysis) over the module: detclock, maporder, errclass
-// and latcharge — the compile-time enforcement of the determinism and
-// error-handling invariants the simulation's correctness rests on.
+// (internal/analysis) over the module: detclock, maporder, errclass,
+// latcharge, poolreturn and verifyread — the compile-time enforcement
+// of the determinism, error-handling and data-integrity invariants the
+// simulation's correctness rests on.
 //
 // Usage:
 //

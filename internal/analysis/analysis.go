@@ -10,7 +10,10 @@
 //   - error discipline: device errors are classified, wrapped with %w,
 //     and never silently discarded on I/O paths (errclass);
 //   - latency accounting: device op methods cannot return success
-//     without charging service time (latcharge).
+//     without charging service time (latcharge);
+//   - end-to-end integrity: the controller's device content fetch
+//     paths cannot return success without checksum-verifying the
+//     bytes (verifyread).
 //
 // The suite is deliberately stdlib-only (go/ast, go/parser, go/types —
 // no golang.org/x/tools) so the module stays go.sum-free. The driver
@@ -56,6 +59,7 @@ func Catalog() []*Analyzer {
 		ErrClass,
 		LatCharge,
 		PoolReturn,
+		VerifyRead,
 	}
 }
 

@@ -114,8 +114,8 @@ func TestWantMarkersDoNotLeakIntoFindings(t *testing.T) {
 			t.Fatalf("catalog entry %+v incomplete", a)
 		}
 	}
-	if len(Catalog()) != 5 {
-		t.Fatalf("catalog has %d analyzers, want 5", len(Catalog()))
+	if len(Catalog()) != 6 {
+		t.Fatalf("catalog has %d analyzers, want 6", len(Catalog()))
 	}
 }
 

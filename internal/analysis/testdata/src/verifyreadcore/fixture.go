@@ -1,0 +1,71 @@
+// Package fixtureverifyread exercises the verifyread analyzer. The
+// fixture is mounted at the controller's package path (internal/core),
+// where slotContent and readHomeVerified carry the checksum-before-
+// success obligation — fetch helpers under other names stay exempt.
+package fixtureverifyread
+
+import (
+	"errors"
+
+	"icash/internal/blockdev"
+	"icash/internal/sim"
+)
+
+var errRot = errors.New("rot")
+
+// contentCRC mirrors the controller's package-local checksum helper.
+func contentCRC(b []byte) uint32 { return blockdev.ContentCRC(b) }
+
+type dev struct{}
+
+func (dev) read(lba int64, buf []byte) (sim.Duration, error) { return sim.Microsecond, nil }
+
+type ctrl struct {
+	d    dev
+	sums map[int64]uint32
+}
+
+// readHomeVerified checks the home read on its main path but leaks an
+// untracked-LBA success return before any verification.
+func (c *ctrl) readHomeVerified(lba int64, buf []byte) (sim.Duration, error) {
+	d, err := c.d.read(lba, buf)
+	if err != nil {
+		return d, err // error path: already failing loudly, no finding
+	}
+	if lba < 0 {
+		return d, nil // want "readHomeVerified returns fetched content without checksum verification"
+	}
+	if blockdev.ContentCRC(buf) != c.sums[lba] {
+		return d, errRot
+	}
+	return d, nil // verified above: no finding
+}
+
+// slotContent verifies via the package-local helper, except for a
+// background fast path that hands the bytes out unchecked.
+func (c *ctrl) slotContent(slot int64, background bool) ([]byte, sim.Duration, error) {
+	buf := make([]byte, 64)
+	// A closure's success returns belong to the closure, not to
+	// slotContent — no finding even though it precedes any checksum.
+	probe := func() (sim.Duration, error) { return 0, nil }
+	if _, err := probe(); err != nil {
+		return nil, 0, err
+	}
+	d, err := c.d.read(slot, buf)
+	if err != nil {
+		return nil, d, err
+	}
+	if background {
+		return buf, d, nil // want "slotContent returns fetched content without checksum verification"
+	}
+	if contentCRC(buf) != c.sums[slot] {
+		return nil, d, errRot
+	}
+	return buf, d, nil
+}
+
+// rawFetch has the fetch shape but is not an obligated name: helpers
+// whose callers own the verification stay exempt.
+func (c *ctrl) rawFetch(lba int64, buf []byte) (sim.Duration, error) {
+	return c.d.read(lba, buf)
+}

@@ -1,0 +1,32 @@
+package analysis
+
+import "testing"
+
+// TestVerifyReadFixture runs verifyread over its golden fixture,
+// mounted at the controller's path so slotContent and readHomeVerified
+// carry the checksum obligation.
+func TestVerifyReadFixture(t *testing.T) {
+	runFixture(t, VerifyRead, "verifyreadcore", "icash/internal/core")
+}
+
+// TestVerifyReadOutOfScope proves the same source mounted outside the
+// controller carries no obligation: the fetch-path names are only
+// meaningful in internal/core.
+func TestVerifyReadOutOfScope(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Lenient = true
+	pkg, err := l.LoadDir("testdata/src/verifyreadcore", "icash/internal/ssd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := RunAnalyzers([]*Analyzer{VerifyRead}, pkg); len(fs) != 0 {
+		t.Fatalf("verifyread fired outside the controller: %v", fs)
+	}
+}

@@ -8,6 +8,7 @@ package blockdev
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"icash/internal/sim"
 )
@@ -35,6 +36,13 @@ var (
 	// controller, power cut mid-operation). Every subsequent request
 	// fails the same way until the device is restored.
 	ErrDeviceLost = errors.New("blockdev: device lost")
+	// ErrCorruption reports silent corruption caught by a content
+	// checksum: the device returned success with wrong bytes (bit rot,
+	// a misdirected write, a lost write). Unlike ErrMedia the device
+	// itself admits nothing — re-reading the same copy returns the same
+	// wrong data, so recovery must repair from a redundant copy, never
+	// retry in place.
+	ErrCorruption = errors.New("blockdev: content checksum mismatch (silent corruption)")
 )
 
 // ErrorClass partitions device errors by the recovery action they call
@@ -53,6 +61,10 @@ const (
 	// ClassDeviceLost errors mean the whole device is gone; the caller
 	// must degrade to whatever redundancy remains.
 	ClassDeviceLost
+	// ClassCorruption errors mean a read succeeded with wrong bytes
+	// (checksum mismatch). Retrying the same copy is useless; the block
+	// must be repaired from a redundant copy that verifies.
+	ClassCorruption
 	// ClassOther covers caller bugs (range/buffer validation) and
 	// unrecognized errors; retrying cannot help.
 	ClassOther
@@ -69,6 +81,8 @@ func (c ErrorClass) String() string {
 		return "media"
 	case ClassDeviceLost:
 		return "device-lost"
+	case ClassCorruption:
+		return "corruption"
 	default:
 		return "other"
 	}
@@ -87,9 +101,25 @@ func Classify(err error) ErrorClass {
 		return ClassMedia
 	case errors.Is(err, ErrDeviceLost):
 		return ClassDeviceLost
+	case errors.Is(err, ErrCorruption):
+		return ClassCorruption
 	default:
 		return ClassOther
 	}
+}
+
+// castagnoli is the CRC32-C polynomial table shared by every content
+// checksum in the stack. Castagnoli is the polynomial storage systems
+// standardize on (iSCSI, btrfs, ext4 metadata) and has hardware support
+// on both amd64 and arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ContentCRC computes the CRC32-C content checksum of a block. All
+// layers (controller checksum map, reference slots, delta cache,
+// scrubber) use this one function so checksums computed at different
+// layer crossings are directly comparable.
+func ContentCRC(b []byte) uint32 {
+	return crc32.Checksum(b, castagnoli)
 }
 
 // Device is a fixed-block storage device on the simulated timeline.

@@ -84,6 +84,29 @@ func (m *MemDevice) Preload(lba int64, content []byte) error {
 
 var _ Preloader = (*MemDevice)(nil)
 
+// Corrupt flips one bit of the stored content at lba, bypassing the
+// write path and all statistics — the silent-corruption test hook,
+// mirroring the ones on the ssd and hdd device models. The device
+// itself will keep serving the rotted content without an error; only
+// an integrity layer above can notice.
+func (m *MemDevice) Corrupt(lba int64, bit int) error {
+	if err := CheckRange(lba, m.blocks); err != nil {
+		return err
+	}
+	b, ok := m.data[lba]
+	if !ok {
+		b = make([]byte, BlockSize)
+		if m.fill != nil {
+			m.fill(lba, b)
+		}
+		m.data[lba] = b
+	}
+	n := len(b) * 8
+	bit = ((bit % n) + n) % n
+	b[bit/8] ^= 1 << uint(bit%8)
+	return nil
+}
+
 // SetFill installs the initial-content oracle for unwritten blocks.
 func (m *MemDevice) SetFill(f FillFunc) { m.fill = f }
 

@@ -149,6 +149,30 @@ type Controller struct {
 	// similarity pairing (paper §4.2 case 1).
 	sameOffset map[int64][]*vblock
 
+	// sums maps each LBA to the CRC32-C of its current content — the
+	// end-to-end integrity checksum, set on every successful host write
+	// and checked at every layer crossing (see integrity.go). An LBA
+	// leaves the map when its content intentionally regresses to a
+	// stale copy (accounted-loss fallbacks) or becomes indeterminate
+	// (failed write).
+	sums map[int64]uint32
+	// poisoned marks LBAs whose every copy failed verification: reads
+	// fail loudly with ErrCorruption instead of serving wrong bytes,
+	// until a full overwrite installs known-good content again.
+	poisoned map[int64]bool
+	// corruptionHook, when set, observes every checksum-mismatch
+	// detection (device name + device-local address). The chaos harness
+	// uses it to measure detection latency against injection times.
+	corruptionHook func(dev string, devLBA int64)
+
+	// Background scrubber state (see scrub.go). scrub.Interval <= 0
+	// disables scrubbing entirely.
+	scrub           ScrubConfig
+	scrubArmed      bool
+	scrubNext       sim.Time
+	scrubSlotCursor int64
+	scrubHomeCursor int64
+
 	// liveLogBytes approximates the payload bytes of live delta records
 	// in the log; shedding keeps it below the log capacity.
 	liveLogBytes int64
@@ -205,6 +229,8 @@ func New(cfg Config, ssdDev, hddDev blockdev.Device, clock *sim.Clock, cpu *cpum
 		txnLive:      make(map[uint64]int),
 		txnBlocks:    make(map[uint64][]int64),
 		sameOffset:   make(map[int64][]*vblock),
+		sums:         make(map[int64]uint32),
+		poisoned:     make(map[int64]bool),
 	}
 	c.freeSlots = make([]int64, 0, cfg.SSDBlocks)
 	for i := cfg.SSDBlocks - 1; i >= 0; i-- {
@@ -278,9 +304,9 @@ func (c *Controller) getOrLoad(lba int64, forWrite bool) (*vblock, sim.Duration,
 		// buffer is dead by the time the deferred Put runs.
 		buf := blockdev.GetBlock()
 		defer blockdev.PutBlock(buf)
-		d, err := c.hddRead(lba, buf)
+		d, err := c.readHomeVerified(lba, buf)
 		if err != nil {
-			return nil, 0, fmt.Errorf("core: home read lba %d: %w", lba, err)
+			return nil, 0, err
 		}
 		lat += d
 		c.Stats.ReadHDDMisses++
@@ -423,29 +449,39 @@ const (
 
 func (c *Controller) storeDeltaOpt(v *vblock, enc []byte, dirty bool, mode reclaimMode) bool {
 	newCost := c.segBytes(len(enc))
-	oldCost := int64(0)
-	if v.deltaRAM != nil {
-		oldCost = c.segBytes(len(v.deltaRAM))
-	}
-	if newCost > oldCost {
-		need := newCost - oldCost
-		for !c.deltaBudget.Reserve(need) {
-			var ok bool
-			switch mode {
-			case reclaimDropOnly:
-				ok = c.dropOneCleanDelta(v)
-			default:
-				ok = c.reclaimDeltaRAM(v)
-			}
-			if !ok {
-				return false
-			}
+	// Reclamation can reach back into v itself: a journal commit groomed
+	// mid-loop may re-cache v's own logged delta via loadDeltaBlock, or
+	// drop the one it held. The cost v currently holds must therefore be
+	// recomputed on every pass — sizing the reservation against an entry
+	// snapshot leaks budget when the install below replaces a delta that
+	// was charged after the snapshot.
+	var oldCost int64
+	for {
+		oldCost = 0
+		if v.deltaRAM != nil {
+			oldCost = c.segBytes(len(v.deltaRAM))
 		}
-	} else if oldCost > newCost {
-		c.deltaBudget.Release(oldCost - newCost)
+		if newCost <= oldCost {
+			c.deltaBudget.Release(oldCost - newCost)
+			break
+		}
+		if c.deltaBudget.Reserve(newCost - oldCost) {
+			break
+		}
+		var ok bool
+		switch mode {
+		case reclaimDropOnly:
+			ok = c.dropOneCleanDelta(v)
+		default:
+			ok = c.reclaimDeltaRAM(v)
+		}
+		if !ok {
+			return false
+		}
 	}
 	wasDirty := v.deltaDirty
 	v.deltaRAM = enc
+	v.deltaCRC = blockdev.ContentCRC(enc)
 	v.deltaDirty = dirty
 	if dirty {
 		c.dirtyBytes += int64(len(enc))

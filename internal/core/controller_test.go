@@ -332,3 +332,36 @@ func TestKindStringAndStats(t *testing.T) {
 		t.Errorf("Fractions = %v %v %v", ref, assoc, indep)
 	}
 }
+
+// TestDeltaBudgetSurvivesGroomReentrancy: with auto-flush disabled the
+// journal fills under a sustained content-local write load, so delta
+// stores routinely hit the budget wall and reclaim by grooming the log
+// mid-store. That groom can reach back into the very block being
+// stored — loadDeltaBlock re-caches its logged delta — which used to
+// leak the re-cached charge when the store then replaced the delta it
+// had sized against a pre-groom snapshot. The budget invariant must
+// hold after every single op.
+func TestDeltaBudgetSurvivesGroomReentrancy(t *testing.T) {
+	cfg := smallConfig()
+	cfg.FlushPeriodOps = 0
+	cfg.FlushDirtyBytes = 1 << 30 // no auto-flush: maximal log pressure
+	rig := newTestRig(t, cfg)
+	c := rig.c
+	r := sim.NewRand(21)
+	buf := make([]byte, blockdev.BlockSize)
+	for op := 0; op < 2000; op++ {
+		lba := int64(r.Intn(512))
+		var err error
+		if r.Float64() < 0.4 {
+			_, err = c.WriteBlock(lba, genContent(r, int(lba%5), 0.05))
+		} else {
+			_, err = c.ReadBlock(lba, buf)
+		}
+		if err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("op %d (lba %d): %v", op, lba, err)
+		}
+	}
+}

@@ -21,7 +21,9 @@ const (
 )
 
 // periodic runs the per-I/O housekeeping: similarity scans every
-// ScanPeriod I/Os (paper §4.2), periodic flushing, and heatmap decay.
+// ScanPeriod I/Os (paper §4.2), periodic flushing, heatmap decay, and
+// the background scrubber's schedule poll (a single comparison when
+// scrubbing is disabled).
 func (c *Controller) periodic() error {
 	c.opCount++
 	if c.cfg.HeatmapDecayOps > 0 && c.opCount%int64(c.cfg.HeatmapDecayOps) == 0 {
@@ -32,6 +34,7 @@ func (c *Controller) periodic() error {
 			return err
 		}
 	}
+	c.scrubPoll()
 	return c.maybeFlush()
 }
 
@@ -64,6 +67,19 @@ func (c *Controller) materialize(v *vblock, background bool) ([]byte, sim.Durati
 		}
 		// Reference + delta. Fetch the delta (RAM, else one log read
 		// that prefetches its whole packed block), then the base.
+		if v.deltaRAM != nil && blockdev.ContentCRC(v.deltaRAM) != v.deltaCRC {
+			// The cached delta rotted in RAM. A clean delta with a durable
+			// journal copy is simply re-fetched; a dirty one (or one with
+			// no durable copy) is unrecoverable — the block falls back to
+			// its accounted stale home copy.
+			c.noteCorruption("ram", v.lba)
+			if !v.deltaDirty && c.deltaLogged(v) {
+				c.releaseDelta(v)
+				c.Stats.CorruptionsRepaired++
+			} else {
+				return nil, 0, pathSSD, c.dropCorruptDelta(v, blockdev.ErrCorruption)
+			}
+		}
 		var lat sim.Duration
 		path := pathSSD
 		if v.deltaRAM == nil {
@@ -73,6 +89,9 @@ func (c *Controller) materialize(v *vblock, background bool) ([]byte, sim.Durati
 			}
 			d, err := c.loadDeltaBlock(rec.block)
 			if err != nil {
+				if blockdev.Classify(err) == blockdev.ClassCorruption {
+					return nil, 0, pathSSD, c.dropCorruptDelta(v, err)
+				}
 				return nil, 0, pathSSD, err
 			}
 			if background {
@@ -95,6 +114,9 @@ func (c *Controller) materialize(v *vblock, background bool) ([]byte, sim.Durati
 			// pressure; decode straight from the packed block copy.
 			enc2, err := c.deltaFromLog(v.lba)
 			if err != nil {
+				if blockdev.Classify(err) == blockdev.ClassCorruption {
+					return nil, 0, path, c.dropCorruptDelta(v, err)
+				}
 				return nil, 0, path, err
 			}
 			enc = enc2
@@ -112,9 +134,9 @@ func (c *Controller) materialize(v *vblock, background bool) ([]byte, sim.Durati
 	}
 	if v.hddHome {
 		buf := c.getScratch()
-		d, err := c.hddRead(v.lba, buf)
+		d, err := c.readHomeVerified(v.lba, buf)
 		if err != nil {
-			return nil, 0, pathHome, fmt.Errorf("core: home read lba %d: %w", v.lba, err)
+			return nil, 0, pathHome, err
 		}
 		if background {
 			c.Stats.BackgroundHDDTime += d
@@ -142,14 +164,19 @@ func (c *Controller) deltaFromLog(lba int64) ([]byte, error) {
 	c.Stats.BackgroundHDDTime += d
 	_, entries, err := decodeLogBlock(buf)
 	if err != nil {
-		return nil, err
+		c.noteCorruption("hdd", c.cfg.VirtualBlocks+rec.block)
+		return nil, fmt.Errorf("core: log block %d: %w: %w", rec.block, err, blockdev.ErrCorruption)
 	}
 	for i := range entries {
 		if entries[i].seq == rec.seq && entries[i].lba == lba {
 			return entries[i].delta, nil
 		}
 	}
-	return nil, fmt.Errorf("core: lba %d: log record vanished", lba)
+	// The block decoded as a valid (foreign) log block but the expected
+	// record is not in it: a misdirected or lost journal write. Classed
+	// as corruption so the caller drops the delta as accounted loss.
+	c.noteCorruption("hdd", c.cfg.VirtualBlocks+rec.block)
+	return nil, fmt.Errorf("core: lba %d: log record vanished: %w", lba, blockdev.ErrCorruption)
 }
 
 // ReadBlock services a host read (paper Figure 1c: combine the delta
@@ -160,6 +187,9 @@ func (c *Controller) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
 	}
 	if err := blockdev.CheckBuffer(buf); err != nil {
 		return 0, err
+	}
+	if c.poisoned[lba] {
+		return 0, errPoisoned(lba)
 	}
 	c.recycleScratch() // previous request's scratch buffers are dead now
 	if err := c.periodic(); err != nil {
@@ -193,6 +223,33 @@ func (c *Controller) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
 		return 0, err
 	}
 	lat += lat2
+	// End-to-end verification: the bytes about to be served must match
+	// the checksum recorded at the block's last host write. This is the
+	// last line of defense — it catches whatever slipped past the
+	// per-layer checks (e.g. RAM rot in the data cache). Dirty blocks are
+	// exempt: their RAM copy *is* the content the checksum was taken of.
+	if want, tracked := c.sums[lba]; tracked && !v.dataDirty && blockdev.ContentCRC(content) != want {
+		c.noteCorruption("host", lba)
+		// Drop the (possibly aliased) bad cached copy and rebuild from
+		// the durable layers, which verify themselves.
+		c.releaseData(v)
+		content, lat2, path, err = c.materialize(v, false)
+		if err != nil && c.faultRecovered(v, err) {
+			content, lat2, path, err = c.materialize(v, false)
+		}
+		if err != nil {
+			return 0, err
+		}
+		lat += lat2
+		// Re-fetch the expected sum: the rebuild may have dropped the
+		// delta as accounted loss, untracking the block.
+		if want2, tracked2 := c.sums[lba]; tracked2 && blockdev.ContentCRC(content) != want2 {
+			c.poisoned[lba] = true
+			c.Stats.UnrepairableBlocks++
+			return 0, errPoisoned(lba)
+		}
+		c.Stats.CorruptionsRepaired++
+	}
 	copy(buf, content)
 	switch path {
 	case pathRAM:
@@ -265,8 +322,14 @@ func (c *Controller) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
 		lat, err = dispatch()
 	}
 	if err != nil {
+		// The block's durable content is indeterminate after a failed
+		// write; stop verifying against the stale checksum.
+		c.dropSum(lba)
 		return 0, err
 	}
+	// The accepted write defines the block's expected content from here
+	// on (and clears any poison: known-good bytes are installed again).
+	c.trackSum(lba, buf)
 	c.touchLRU(v)
 	c.Stats.NoteWrite(blockdev.BlockSize, lat)
 	return lat, nil
@@ -447,7 +510,13 @@ func (c *Controller) Preload(lba int64, content []byte) error {
 	if !ok {
 		return fmt.Errorf("core: backing HDD does not support preloading")
 	}
-	return p.Preload(lba, content)
+	if err := p.Preload(lba, content); err != nil {
+		return err
+	}
+	// Preloaded content is known good: track it so home reads verify
+	// from the first access.
+	c.trackSum(lba, content)
+	return nil
 }
 
 var _ blockdev.Device = (*Controller)(nil)

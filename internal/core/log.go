@@ -363,7 +363,12 @@ func (c *Controller) loadDeltaBlock(b int64) (sim.Duration, error) {
 	c.Stats.ReadLogLoads++
 	_, entries, err := decodeLogBlock(buf)
 	if err != nil {
-		return d, fmt.Errorf("core: log block %d: %w", b, err)
+		// The journal copy failed its CRC/framing checks: a silently
+		// corrupted (or misdirect-clobbered) log block. Classed as
+		// corruption so the read path drops the delta as accounted loss
+		// instead of retrying a copy that cannot get better.
+		c.noteCorruption("hdd", c.cfg.VirtualBlocks+b)
+		return d, fmt.Errorf("core: log block %d: %w: %w", b, err, blockdev.ErrCorruption)
 	}
 	for i := range entries {
 		e := &entries[i]

@@ -161,6 +161,7 @@ func (c *Controller) replayLog() error {
 			return err
 		}
 		c.Stats.DroppedLogRecs++
+		c.dropSum(lba) // content regresses to the stale home copy
 		c.queueControl(logEntry{kind: entryTombstone, lba: lba})
 		return nil
 	}

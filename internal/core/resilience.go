@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"hash/crc32"
 
 	"icash/internal/blockdev"
 	"icash/internal/delta"
@@ -101,9 +100,11 @@ func (c *Controller) hddWrite(lba int64, buf []byte) (sim.Duration, error) {
 }
 
 // contentCRC is the end-to-end integrity checksum kept per reference
-// slot, used to validate a repair source before trusting it (the
-// similarity signature is a sketch, not collision resistant).
-func contentCRC(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+// slot and per LBA, used to validate a repair source before trusting
+// it (the similarity signature is a sketch, not collision resistant)
+// and to catch silently corrupted reads at every layer crossing. RAM
+// only — never serialized — so it delegates to the shared CRC32-C.
+func contentCRC(b []byte) uint32 { return blockdev.ContentCRC(b) }
 
 // discardSlot unwinds a freshly allocated slot whose content write
 // failed before any block attached. retire permanently removes the SSD
@@ -198,11 +199,13 @@ func (c *Controller) salvageSlot(s *refSlot, retire bool) {
 		if v.dataRAM != nil {
 			if err := c.writeHome(v, v.dataRAM); err != nil {
 				c.Stats.ScrubDataLoss++
+				c.dropSum(v.lba) // content regresses to the stale copy
 				v.hddHome = true // stale home copy is all that remains
 				v.dataDirty = false
 			}
 		} else {
 			c.Stats.ScrubDataLoss++
+			c.dropSum(v.lba)
 			v.hddHome = true
 		}
 		c.orphanFromSlot(v)
@@ -233,11 +236,13 @@ func (c *Controller) salvageContent(s *refSlot, base []byte) {
 		if content != nil {
 			if err := c.writeHome(v, content); err != nil {
 				c.Stats.ScrubDataLoss++
+				c.dropSum(v.lba)
 				v.hddHome = true
 				v.dataDirty = false
 			}
 		} else {
 			c.Stats.ScrubDataLoss++
+			c.dropSum(v.lba)
 			v.hddHome = true
 		}
 		c.orphanFromSlot(v)
@@ -302,14 +307,18 @@ func (c *Controller) maybeDegradeSSD(err error) bool {
 // faultRecovered reports whether the fault behind a request-path error
 // has been repaired to the point that one retry can succeed: either the
 // SSD was just degraded away (every block is slot-free now), or a
-// media-level scrub failure salvaged v to its home location (v is
-// slot-free). Transient faults were already retried below; anything
-// else stays fatal.
+// media-level or corruption-level scrub failure salvaged v to its home
+// location (v is slot-free). Corruption is never retried in place —
+// the lying copy was detached, and the retry reads the surviving one.
+// Transient faults were already retried below; anything else stays
+// fatal.
 func (c *Controller) faultRecovered(v *vblock, err error) bool {
 	if c.maybeDegradeSSD(err) {
 		return true
 	}
-	return blockdev.Classify(err) == blockdev.ClassMedia && v.slotRef == nil && !v.dead
+	cl := blockdev.Classify(err)
+	return (cl == blockdev.ClassMedia || cl == blockdev.ClassCorruption) &&
+		v.slotRef == nil && !v.dead
 }
 
 // degradeSSD transitions to HDD-only passthrough after whole-SSD loss:
@@ -336,11 +345,13 @@ func (c *Controller) degradeSSD() {
 		if v.dataRAM != nil {
 			if err := c.writeHome(v, v.dataRAM); err != nil {
 				c.Stats.DegradedDataLoss++
+				c.dropSum(v.lba)
 				v.hddHome = true
 				v.dataDirty = false
 			}
 		} else {
 			c.Stats.DegradedDataLoss++
+			c.dropSum(v.lba)
 			v.hddHome = true
 		}
 		c.orphanFromSlot(v)

@@ -202,7 +202,13 @@ func (c *Controller) promoteDonor(s *refSlot) {
 func (c *Controller) slotContent(s *refSlot, background bool) ([]byte, sim.Duration, error) {
 	if s.donor >= 0 {
 		if donor, ok := c.blocks[s.donor]; ok && donor.slotRef == s && donor.ssdCurrent && donor.dataRAM != nil {
-			return donor.dataRAM, ram.AccessLatency, nil
+			if contentCRC(donor.dataRAM) == s.crc {
+				return donor.dataRAM, ram.AccessLatency, nil
+			}
+			// The cached donor copy disagrees with the install-time slot
+			// checksum: the RAM copy rotted. Fall through to the devices,
+			// which hold verified redundant copies.
+			c.noteCorruption("ram", s.index)
 		}
 	}
 	if c.ssdQuarantined {
@@ -226,12 +232,30 @@ func (c *Controller) slotContent(s *refSlot, background bool) ([]byte, sim.Durat
 	}
 	buf := c.getScratch()
 	d, err := c.ssdRead(s.index, buf)
+	detected := false
+	if err == nil && contentCRC(buf) != s.crc {
+		// The SSD reported success but returned wrong bytes (silent
+		// corruption). Synthesize a corruption-classed error so the lie
+		// routes through exactly the same repair path as a loud media
+		// error — a lying read must never reach the host.
+		c.noteCorruption("ssd", s.index)
+		detected = true
+		err = fmt.Errorf("%w: slot %d: %w", errSSDOp, s.index, blockdev.ErrCorruption)
+	}
 	if err != nil {
-		if blockdev.Classify(err) == blockdev.ClassMedia {
-			// Uncorrectable bit error in the reference store: scrub the
-			// slot from a redundant copy (donor RAM or the CRC-verified
-			// HDD home backup) and heal the flash block in place.
+		if cl := blockdev.Classify(err); cl == blockdev.ClassMedia || cl == blockdev.ClassCorruption {
+			// Damaged reference content — an uncorrectable bit error or a
+			// checksum-caught silent flip: scrub the slot from a redundant
+			// copy (donor RAM or the CRC-verified HDD home backup) and
+			// heal the flash block in place.
 			content, serr := c.scrubSlot(s)
+			if detected {
+				if serr == nil {
+					c.Stats.CorruptionsRepaired++
+				} else {
+					c.Stats.UnrepairableBlocks++
+				}
+			}
 			if serr != nil {
 				return nil, 0, fmt.Errorf("core: slot %d read: %w", s.index, serr)
 			}

@@ -103,6 +103,15 @@ type Stats struct {
 	ReadmitEvents    int64        // quarantine lifts (device re-admitted)
 	QuarantinedOps   int64        // requests served while the SSD was quarantined
 	QuarantineSkips  int64        // SSD reads bypassed outright during quarantine
+
+	// End-to-end integrity: content checksums, scrubbing, verified
+	// repair (see integrity.go and scrub.go, DESIGN.md §14).
+	CorruptionsDetected int64 // checksum mismatches caught before reaching the host
+	CorruptionsRepaired int64 // detected corruptions healed from a verifying copy
+	UnrepairableBlocks  int64 // detected corruptions with no verifying copy (poisoned/dropped)
+	ScrubPasses         int64 // completed full sweeps of slots + tracked home blocks
+	ScrubSlotChecks     int64 // SSD reference slots verified by the scrubber
+	ScrubHomeChecks     int64 // HDD home blocks verified by the scrubber
 }
 
 // KindCounts is a snapshot of the virtual-block population by kind,

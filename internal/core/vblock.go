@@ -69,6 +69,10 @@ type vblock struct {
 	deltaRAM []byte
 	// deltaDirty marks deltaRAM as not yet packed into the log.
 	deltaDirty bool
+	// deltaCRC is the CRC32-C of deltaRAM, set when the delta is
+	// stored; materialize verifies it before decoding so a corrupt
+	// cache entry is never baked into served content.
+	deltaCRC uint32
 
 	// LRU linkage (intrusive doubly-linked list).
 	prev, next *vblock

@@ -55,6 +55,23 @@ type Config struct {
 	// times are relative: From/To are offsets from the start of the
 	// measured phase, shifted onto the simulated clock by Run.
 	Plan *fault.Schedule
+
+	// SilentFaults arms a generated silent-corruption plan for the
+	// measured phase: scheduled windows of bit-flip-on-read,
+	// misdirected writes, and lost writes on the SSD and HDD. The
+	// devices lie (report success, wrong bytes); only the controller's
+	// checksums can catch it, and the zero-undetected-corruption bound
+	// below holds the controller to that.
+	SilentFaults bool
+	// SilentSSD / SilentHDD override the generated silent plan per
+	// device (used with SilentFaults). Window times are relative, like
+	// Plan.
+	SilentSSD *fault.SilentPlan
+	SilentHDD *fault.SilentPlan
+	// ScrubInterval enables the background integrity scrubber with the
+	// given batch interval (0 leaves it off). The scrubber arms at the
+	// start of the measured phase.
+	ScrubInterval sim.Duration
 }
 
 // Result is one soak's complete accounting. It contains no pointers,
@@ -93,6 +110,13 @@ type Result struct {
 	Stats    core.Stats
 	SSDFault fault.Stats
 	HDDFault fault.Stats
+	// DetectLat is the corruption detection-latency distribution:
+	// simulated time from a silent injection to the checksum that
+	// caught it. SilentUncaught counts injected damage still
+	// outstanding at the end of the run (cold blocks never re-read —
+	// damage that never became host-visible).
+	DetectLat      metrics.Histogram
+	SilentUncaught int64
 	// DetectorFlags / DetectorClears total the slow-detector's
 	// flag / re-admit transitions across all watched stations.
 	DetectorFlags  int64
@@ -186,6 +210,35 @@ func genPlan(seed uint64, shift sim.Time, horizon sim.Duration) []fault.Window {
 	return ws
 }
 
+// genSilentPlan builds a randomized-but-seeded silent-corruption
+// schedule covering roughly the first half of the measured phase: one
+// to three windows, each arming one lie mode (bit-flip-on-read,
+// misdirected write, or lost write) on either the SSD or the HDD.
+// Rates are modest — a soak should survive, loudly.
+func genSilentPlan(seed uint64, shift sim.Time, horizon sim.Duration) (ssdW, hddW []fault.SilentWindow) {
+	rng := sim.NewRand(seed ^ 0x51e7_c0de_b17f_11b5)
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		from := sim.Duration(rng.Int63n(int64(horizon) / 2))
+		dur := horizon/16 + sim.Duration(rng.Int63n(int64(horizon)/4))
+		w := fault.SilentWindow{From: shift.Add(from), To: shift.Add(from + dur)}
+		switch rng.Intn(3) {
+		case 0:
+			w.BitFlip = 0.01 + 0.04*rng.Float64()
+		case 1:
+			w.Misdirect = 0.005 + 0.015*rng.Float64()
+		case 2:
+			w.LostWrite = 0.005 + 0.015*rng.Float64()
+		}
+		if rng.Intn(2) == 0 {
+			ssdW = append(ssdW, w)
+		} else {
+			hddW = append(hddW, w)
+		}
+	}
+	return ssdW, hddW
+}
+
 // Run executes one chaos soak and verifies it: populate, fault
 // schedule, closed-loop measured phase at QueueDepth, full-sweep
 // verify, invariant check, silent-loss check. Any verification
@@ -210,8 +263,13 @@ func Run(cfg Config) (*Result, error) {
 	// so appending windows then is race-free and keeps window offsets
 	// relative to the measured phase, not the build instant.
 	plan := &fault.Schedule{Seed: cfg.Seed}
-	fssd := &fault.Config{Seed: cfg.Seed*0x9e37_79b9 + 1, Plan: plan}
-	fhdd := &fault.Config{Seed: cfg.Seed*0x9e37_79b9 + 2, Plan: plan}
+	// Silent-corruption plans use the same install-empty-then-populate
+	// trick: the fault devices hold the pointers from build time, and
+	// windows are appended once the measured-phase anchor is known.
+	silentSSD := &fault.SilentPlan{}
+	silentHDD := &fault.SilentPlan{}
+	fssd := &fault.Config{Seed: cfg.Seed*0x9e37_79b9 + 1, Plan: plan, Silent: silentSSD}
+	fhdd := &fault.Config{Seed: cfg.Seed*0x9e37_79b9 + 2, Plan: plan, Silent: silentHDD}
 	bc := harness.BuildConfig{
 		DataBlocks:     cfg.LBASpace,
 		SSDCacheBlocks: cfg.LBASpace / 2,
@@ -251,6 +309,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	sys.ResetStats()
 
+	// Arm the background scrubber for the measured phase (SetScrub
+	// re-anchors the schedule at the next request).
+	if cfg.ScrubInterval > 0 {
+		sys.ICASH.SetScrub(core.ScrubConfig{Interval: cfg.ScrubInterval})
+	}
+
 	// Arm the probabilistic fail-stop rates for the measured phase.
 	if !cfg.NoFailStop {
 		rates := fault.Rates{ReadMedia: 0.001, WriteMedia: 0.001, Transient: 0.003}
@@ -277,12 +341,61 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	// Install the silent-corruption schedule, anchored the same way.
+	if cfg.SilentFaults {
+		horizon := sim.Duration(cfg.Ops) * 400 * sim.Microsecond
+		shiftWindows := func(p *fault.SilentPlan) []fault.SilentWindow {
+			ws := make([]fault.SilentWindow, 0, len(p.Windows))
+			for _, w := range p.Windows {
+				w.From = start.Add(sim.Duration(w.From))
+				w.To = start.Add(sim.Duration(w.To))
+				ws = append(ws, w)
+			}
+			return ws
+		}
+		if cfg.SilentSSD != nil || cfg.SilentHDD != nil {
+			if cfg.SilentSSD != nil {
+				silentSSD.Windows = shiftWindows(cfg.SilentSSD)
+			}
+			if cfg.SilentHDD != nil {
+				silentHDD.Windows = shiftWindows(cfg.SilentHDD)
+			}
+		} else {
+			silentSSD.Windows, silentHDD.Windows = genSilentPlan(cfg.Seed, start, horizon)
+		}
+	}
+
 	// Measured phase: closed-loop QueueDepth tokens on the event
 	// engine, mirroring the harness's concurrent runner, with every
 	// read checked against the oracle at execution time (the stack
 	// runs in deterministic event order, so "current version" is
 	// well-defined even with overlapping requests).
 	res := &Result{Seed: cfg.Seed}
+
+	// Detection-latency measurement: every checksum-mismatch detection
+	// pops the matching device's outstanding-injection record; the gap
+	// between injection and detection is the silent corruption's
+	// host-visible exposure window.
+	sys.ICASH.SetCorruptionHook(func(dev string, devLBA int64) {
+		var t sim.Time
+		var ok bool
+		switch dev {
+		case "ssd":
+			t, ok = sys.SSDFault.TakeCorruption(devLBA)
+		case "hdd":
+			t, ok = sys.HDDFault.TakeCorruption(devLBA)
+		default:
+			// A RAM- or host-level detection does not know which device
+			// lied; match the outstanding injection on either.
+			if t, ok = sys.SSDFault.TakeCorruption(devLBA); !ok {
+				t, ok = sys.HDDFault.TakeCorruption(devLBA)
+			}
+		}
+		if ok {
+			res.DetectLat.Record(clock.Now().Sub(t))
+		}
+	})
+
 	rng := sim.NewRand(cfg.Seed ^ 0x5eed_0fca_0c4a_0001)
 	sch := event.NewScheduler(clock)
 	maxDone := start
@@ -394,6 +507,7 @@ func Run(cfg Config) (*Result, error) {
 	res.WrongLBAs = int64(len(wrong))
 	res.AccountedLoss = res.Stats.ScrubDataLoss + res.Stats.DegradedDataLoss +
 		res.Stats.DroppedLogRecs
+	res.SilentUncaught = int64(sys.SSDFault.SilentOutstanding() + sys.HDDFault.SilentOutstanding())
 
 	// Verdicts: structural invariants, then the silent-loss bound.
 	if err := sys.ICASH.CheckInvariants(); err != nil {
@@ -410,10 +524,18 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// String summarizes a result in one line for tools.
+// String summarizes a result in one line for tools. Runs that saw
+// corruption detections append an integrity segment; healthy lines are
+// unchanged.
 func (r *Result) String() string {
-	return fmt.Sprintf("seed=%d ops=%d (r=%d w=%d) errs=%d wrong=%d/%d-lba accounted=%d slow=%d quarantine=%d hedges=%d read[%s]",
+	s := fmt.Sprintf("seed=%d ops=%d (r=%d w=%d) errs=%d wrong=%d/%d-lba accounted=%d slow=%d quarantine=%d hedges=%d read[%s]",
 		r.Seed, r.Ops, r.Reads, r.Writes, r.OpErrors, r.WrongReads, r.WrongLBAs,
 		r.AccountedLoss, r.SlowOps, r.Stats.QuarantineEvents, r.Stats.HedgedReads,
 		r.ReadHist.String())
+	if r.Stats.CorruptionsDetected > 0 {
+		s += fmt.Sprintf(" corrupt[det=%d rep=%d unrep=%d uncaught=%d lat %s]",
+			r.Stats.CorruptionsDetected, r.Stats.CorruptionsRepaired,
+			r.Stats.UnrepairableBlocks, r.SilentUncaught, r.DetectLat.String())
+	}
+	return s
 }

@@ -183,3 +183,133 @@ func TestChaosExplicitPlanShifts(t *testing.T) {
 		t.Fatal("explicit plan window never fired (SlowOps = 0): window offsets not shifted onto the clock?")
 	}
 }
+
+// TestChaosSilentCorruptionSoak is the integrity acceptance soak: the
+// devices lie — bit flips on reads, misdirected writes, writes acked
+// but never applied — under the full fail-slow + fail-stop schedule,
+// with the background scrubber running. Run enforces the
+// zero-undetected-corruption bound (every wrong read covered by the
+// controller's own loss accounting); on top of that, the seed set as a
+// whole must actually exercise the machinery: injections happen,
+// checksums catch them, and repairs succeed.
+func TestChaosSilentCorruptionSoak(t *testing.T) {
+	var injected, detected, repaired int64
+	for seed := uint64(1); seed <= 15; seed++ {
+		res, err := Run(Config{Seed: seed, SilentFaults: true,
+			ScrubInterval: 5 * sim.Millisecond})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		injected += res.SSDFault.BitFlips + res.SSDFault.MisdirectedWrites + res.SSDFault.LostWrites +
+			res.HDDFault.BitFlips + res.HDDFault.MisdirectedWrites + res.HDDFault.LostWrites
+		detected += res.Stats.CorruptionsDetected
+		repaired += res.Stats.CorruptionsRepaired
+		t.Logf("%s", res)
+	}
+	if injected == 0 {
+		t.Fatal("no silent faults were ever injected across the seed set")
+	}
+	if detected == 0 {
+		t.Fatal("silent faults were injected but no checksum ever caught one")
+	}
+	if repaired == 0 {
+		t.Fatal("corruptions were detected but none was ever repaired")
+	}
+	t.Logf("totals: injected=%d detected=%d repaired=%d", injected, detected, repaired)
+}
+
+// TestChaosSilentPureCorruption isolates the silent faults: no
+// fail-stop errors, no fail-slow windows — every fault in the run is a
+// device lie. Nothing may reach the host wrong and unaccounted (Run
+// checks), and the scrubber must demonstrably cover both scrub
+// domains (reference slots and tracked home blocks).
+func TestChaosSilentPureCorruption(t *testing.T) {
+	var slotChecks, homeChecks, passes int64
+	for seed := uint64(200); seed < 210; seed++ {
+		res, err := Run(Config{Seed: seed, NoFailStop: true, NoFailSlow: true,
+			SilentFaults: true, ScrubInterval: 2 * sim.Millisecond})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		slotChecks += res.Stats.ScrubSlotChecks
+		homeChecks += res.Stats.ScrubHomeChecks
+		passes += res.Stats.ScrubPasses
+		t.Logf("%s", res)
+	}
+	if slotChecks == 0 {
+		t.Fatal("scrubber never verified a reference slot")
+	}
+	if homeChecks == 0 {
+		t.Fatal("scrubber never verified a tracked home block")
+	}
+	if passes == 0 {
+		t.Fatal("scrubber never completed a full pass")
+	}
+}
+
+// TestChaosSilentDeterminism reruns silent-corruption + scrubber seeds
+// under different GOMAXPROCS settings and requires byte-identical
+// Results — detection latencies, repair counts and all.
+func TestChaosSilentDeterminism(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	seeds := []uint64{2, 9, 13}
+	baseline := make(map[uint64]*Result)
+	for _, procs := range []int{1, runtime.NumCPU(), 2} {
+		runtime.GOMAXPROCS(procs)
+		for _, seed := range seeds {
+			res, err := Run(Config{Seed: seed, Ops: 800, SilentFaults: true,
+				ScrubInterval: 3 * sim.Millisecond})
+			if err != nil {
+				t.Fatalf("seed %d (GOMAXPROCS=%d): %v", seed, procs, err)
+			}
+			if base, ok := baseline[seed]; !ok {
+				baseline[seed] = res
+			} else if !reflect.DeepEqual(base, res) {
+				t.Fatalf("seed %d (GOMAXPROCS=%d): result differs:\n got %+v\nwant %+v",
+					seed, procs, res, base)
+			}
+		}
+	}
+}
+
+// TestChaosScrubCleanRun pins two properties of the scrubber on a
+// fault-free array. First, leaving ScrubInterval at zero is a true
+// no-op: the Result is byte-identical to a run that never mentioned
+// the scrubber, so baselines stay comparable across the feature
+// boundary. Second, turning the scrubber on may add device contention
+// (scrub I/O shares the spindle and the flash channel — that overhead
+// is measured in EXPERIMENTS.md) but must never invent corruption:
+// zero detections, zero wrong reads, every host op still completes.
+func TestChaosScrubCleanRun(t *testing.T) {
+	base, err := Run(Config{Seed: 77, Ops: 1000, NoFailStop: true, NoFailSlow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(Config{Seed: 77, Ops: 1000, NoFailStop: true, NoFailSlow: true,
+		ScrubInterval: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, off) {
+		t.Fatalf("ScrubInterval=0 is not a no-op:\n got %+v\nwant %+v", off, base)
+	}
+	on, err := Run(Config{Seed: 77, Ops: 1000, NoFailStop: true, NoFailSlow: true,
+		ScrubInterval: 2 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Stats.ScrubSlotChecks == 0 && on.Stats.ScrubHomeChecks == 0 {
+		t.Fatal("scrubber never ran in the scrubbed arm")
+	}
+	if on.Ops != base.Ops {
+		t.Fatalf("scrubber changed op count: %d vs %d", on.Ops, base.Ops)
+	}
+	if on.WrongReads != 0 || on.OpErrors != 0 {
+		t.Fatalf("scrubbed clean run saw wrong=%d errs=%d", on.WrongReads, on.OpErrors)
+	}
+	if on.Stats.CorruptionsDetected != 0 || on.Stats.UnrepairableBlocks != 0 {
+		t.Fatalf("scrubber invented corruption on a clean array: det=%d unrep=%d",
+			on.Stats.CorruptionsDetected, on.Stats.UnrepairableBlocks)
+	}
+}

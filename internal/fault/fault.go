@@ -14,7 +14,12 @@
 //     prefix of the new data (the tail keeps the old bytes, exactly
 //     what a power cut mid-sector-stream leaves behind), after which
 //     the device is lost. Restore models power-on: the media, torn
-//     block included, is intact; only the in-flight write was damaged.
+//     block included, is intact; only the in-flight write was damaged;
+//   - silent corruption (SilentRates / SilentPlan): bit flips on
+//     successful reads, writes misdirected to the neighboring LBA, and
+//     lost writes acked as durable — lie-and-return-success faults that
+//     never raise an error and are only caught by content checksums
+//     above the device.
 //
 // Everything is driven by one seed, so two runs with the same seed,
 // schedule and request stream observe bit-identical fault sequences —
@@ -43,6 +48,10 @@ type Rates struct {
 	// Transient is the probability that any operation times out once
 	// without taking effect.
 	Transient float64
+	// Silent sets the lie-and-return-success rates: bit flips on read,
+	// misdirected writes, lost writes. These never surface as errors —
+	// only a content checksum above the device catches them.
+	Silent SilentRates
 }
 
 // Config parameterizes a fault.Device.
@@ -58,11 +67,18 @@ type Config struct {
 	// ErrorLatency is the simulated service time of a media error
 	// (default 5 ms — the drive's internal retries before giving up).
 	ErrorLatency sim.Duration
+	// LostWriteLatency is the simulated service time of a lost write
+	// (default 100 µs): the device acks at normal speed, the data just
+	// never reaches the media.
+	LostWriteLatency sim.Duration
 
 	// Plan, when non-nil, is the scheduled fail-slow plan: service
 	// times (successes and error latencies alike) are inflated by
 	// Plan.Inflate(Station, Clock.Now(), d). Requires Clock.
 	Plan *Schedule
+	// Silent, when non-nil, schedules silent-corruption windows whose
+	// rates add to Rates.Silent while active. Requires Clock.
+	Silent *SilentPlan
 	// Clock supplies the simulated time the Plan's windows are keyed on.
 	Clock *sim.Clock
 	// Station names this device in the Plan's windows ("ssd", "hdd0").
@@ -79,6 +95,11 @@ type Stats struct {
 	TornWrites      int64 // crash-point writes that applied partially
 	HealedBlocks    int64 // bad blocks cleared by a successful rewrite
 
+	// Silent-corruption injection (never surfaces as a device error).
+	BitFlips          int64 // successful reads returned with one bit flipped
+	MisdirectedWrites int64 // writes that landed on the neighboring LBA
+	LostWrites        int64 // writes acked as durable but never applied
+
 	// Fail-slow accounting (scheduled Plan windows).
 	SlowOps  int64        // operations whose service time was inflated
 	SlowTime sim.Duration // total extra service time injected
@@ -94,6 +115,7 @@ type Device struct {
 	rng   *sim.Rand
 
 	bad        map[int64]bool
+	silentAt   map[int64]sim.Time // outstanding silent damage, keyed by LBA, valued by injection time
 	lost       bool
 	writeSeen  int64
 	crashAfter int64 // 1-indexed write count; -1 disables
@@ -116,6 +138,9 @@ func Wrap(inner blockdev.Device, cfg Config) *Device {
 	}
 	if cfg.ErrorLatency <= 0 {
 		cfg.ErrorLatency = 5 * sim.Millisecond
+	}
+	if cfg.LostWriteLatency <= 0 {
+		cfg.LostWriteLatency = 100 * sim.Microsecond
 	}
 	return &Device{
 		inner:      inner,
@@ -217,6 +242,15 @@ func (d *Device) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
 	}
 	d.Stats.Reads++
 	dur, err := d.inner.ReadBlock(lba, buf)
+	if err == nil {
+		if r := d.silentNow().BitFlip; r > 0 && d.rng.Float64() < r {
+			// Transfer-path upset: the media is intact, this copy of
+			// the data is not. The device still reports success.
+			d.flipOneBit(buf)
+			d.Stats.BitFlips++
+			d.noteSilent(lba)
+		}
+	}
 	return d.shape(dur), err
 }
 
@@ -250,10 +284,37 @@ func (d *Device) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
 		d.Stats.MediaErrors++
 		return d.shape(d.cfg.ErrorLatency), injectErr("write", lba, blockdev.ErrMedia)
 	}
+	if sr := d.silentNow(); !sr.zero() {
+		if sr.LostWrite > 0 && d.rng.Float64() < sr.LostWrite {
+			// Acked as durable, never applied: the old content
+			// survives on media. No error, normal-looking latency.
+			d.Stats.LostWrites++
+			d.Stats.Writes++
+			d.noteSilent(lba)
+			return d.shape(d.cfg.LostWriteLatency), nil
+		}
+		if sr.Misdirect > 0 && d.rng.Float64() < sr.Misdirect {
+			// The write lands on the neighboring LBA: the target keeps
+			// its stale content and the neighbor is clobbered with
+			// foreign data — both lie silently.
+			target := misdirectTarget(lba, d.inner.Blocks())
+			d.Stats.MisdirectedWrites++
+			d.noteSilent(lba)
+			d.noteSilent(target)
+			dur, err := d.inner.WriteBlock(target, buf)
+			d.Stats.Writes++
+			return d.shape(dur), err
+		}
+	}
 	dur, err := d.inner.WriteBlock(lba, buf)
-	if err == nil && d.bad[lba] {
-		delete(d.bad, lba)
-		d.Stats.HealedBlocks++
+	if err == nil {
+		if d.bad[lba] {
+			delete(d.bad, lba)
+			d.Stats.HealedBlocks++
+		}
+		// An honest overwrite replaces whatever silent damage the
+		// block held; it is no longer outstanding.
+		delete(d.silentAt, lba)
 	}
 	d.Stats.Writes++
 	return d.shape(dur), err

@@ -84,6 +84,11 @@ type BuildConfig struct {
 	FaultSSD *fault.Config
 	FaultHDD *fault.Config
 
+	// Scrub configures I-CASH's background integrity scrubber (see
+	// core.ScrubConfig; a zero Interval leaves it disabled). Ignored
+	// for the baseline systems.
+	Scrub core.ScrubConfig
+
 	// SlowDetector enables the fail-slow detector: station service
 	// times feed a windowed-p99 watch, and the concurrent runner
 	// quarantines / re-admits the I-CASH SSD as the flag flips.
@@ -382,6 +387,7 @@ func Build(kind Kind, cfg BuildConfig) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctrl.SetScrub(cfg.Scrub)
 		s.ICASH = ctrl
 		s.Dev = ctrl
 		s.flush = ctrl.Flush

@@ -335,6 +335,29 @@ func (d *Device) Preload(lba int64, content []byte) error {
 
 var _ blockdev.Preloader = (*Device)(nil)
 
+// Corrupt flips one bit of the stored content at lba, bypassing timing,
+// head movement and statistics: the disk keeps serving the damaged
+// bytes with no error — a seeded silent bit-rot for integrity tests
+// and demos. Unwritten blocks are materialized from the fill oracle
+// first so the corruption is visible against the expected content.
+func (d *Device) Corrupt(lba int64, bit int) error {
+	if err := blockdev.CheckRange(lba, d.cfg.CapacityBlocks); err != nil {
+		return err
+	}
+	b, ok := d.data[lba]
+	if !ok {
+		b = make([]byte, blockdev.BlockSize)
+		if d.fill != nil {
+			d.fill(lba, b)
+		}
+		d.data[lba] = b
+	}
+	n := len(b) * 8
+	bit = ((bit % n) + n) % n
+	b[bit/8] ^= 1 << uint(bit%8)
+	return nil
+}
+
 // SetFill installs the initial-content oracle for unwritten blocks.
 func (d *Device) SetFill(f blockdev.FillFunc) { d.fill = f }
 

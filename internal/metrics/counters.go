@@ -69,6 +69,21 @@ func JournalCounters(st *core.Stats) []Counter {
 	return counters
 }
 
+// IntegrityCounters flattens the controller's end-to-end integrity
+// accounting (checksums, scrubbing, verified repair) into an ordered
+// counter list. The order is part of the contract: tools print and
+// diff these tables.
+func IntegrityCounters(st *core.Stats) []Counter {
+	return []Counter{
+		{"corruptions_detected", st.CorruptionsDetected},
+		{"corruptions_repaired", st.CorruptionsRepaired},
+		{"unrepairable_blocks", st.UnrepairableBlocks},
+		{"scrub_passes", st.ScrubPasses},
+		{"scrub_slot_checks", st.ScrubSlotChecks},
+		{"scrub_home_checks", st.ScrubHomeChecks},
+	}
+}
+
 // FaultCounters flattens a fault injector's accounting into an ordered
 // counter list.
 func FaultCounters(st *fault.Stats) []Counter {
@@ -82,6 +97,11 @@ func FaultCounters(st *fault.Stats) []Counter {
 		{"healed_blocks", st.HealedBlocks},
 		{"slow_ops", st.SlowOps},
 		{"slow_time_ns", int64(st.SlowTime)},
+		// Silent-corruption injection (appended: the order above is
+		// frozen). These count injected lies, not detections.
+		{"bit_flips", st.BitFlips},
+		{"misdirected_writes", st.MisdirectedWrites},
+		{"lost_writes", st.LostWrites},
 	}
 }
 
