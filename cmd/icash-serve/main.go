@@ -21,7 +21,6 @@ import (
 	"fmt"
 	"net"
 	"os"
-	"sync"
 
 	"icash/internal/harness"
 	"icash/internal/server"
@@ -71,40 +70,27 @@ func realMain() int {
 	return 0
 }
 
-// lockedBackend serializes concurrent connections onto the
-// single-threaded controller stack. The simulated durations the
-// devices return are reported on the wire but not slept out.
-type lockedBackend struct {
-	mu  sync.Mutex
+// sysBackend exposes a harness System as a server.Backend.
+type sysBackend struct {
 	sys *harness.System
 }
 
-func (b *lockedBackend) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+func (b sysBackend) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
 	return b.sys.Dev.ReadBlock(lba, buf)
 }
 
-func (b *lockedBackend) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+func (b sysBackend) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
 	return b.sys.Dev.WriteBlock(lba, buf)
 }
 
-func (b *lockedBackend) Flush() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.sys.Flush()
-}
-
-func (b *lockedBackend) Blocks() int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.sys.Dev.Blocks()
-}
+func (b sysBackend) Flush() error  { return b.sys.Flush() }
+func (b sysBackend) Blocks() int64 { return b.sys.Dev.Blocks() }
 
 // serveListen builds and populates the array, then serves the framed
-// protocol to real TCP clients until interrupted.
+// protocol to real TCP clients until interrupted. Connections register
+// with a server.Registry so shutdown can drain: when the listener dies,
+// the aggregate accounting is reported and the array flushed before the
+// error surfaces.
 func serveListen(addr string, p workload.Profile, opts workload.Options, window int) error {
 	sys, err := harness.Build(harness.ICASH, harness.ConfigForProfile(p, opts))
 	if err != nil {
@@ -116,7 +102,8 @@ func serveListen(addr string, p workload.Profile, opts workload.Options, window 
 	if err := harness.Populate(sys, gen); err != nil {
 		return err
 	}
-	backend := &lockedBackend{sys: sys}
+	backend := server.NewLockedBackend(sysBackend{sys: sys})
+	registry := server.NewRegistry()
 	imageBlocks := gen.ImageBlocks()
 	vms := p.VMs
 
@@ -130,14 +117,20 @@ func serveListen(addr string, p workload.Profile, opts workload.Options, window 
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			total, derr := registry.Drain(backend)
+			if derr != nil {
+				fmt.Fprintf(os.Stderr, "icash-serve: %v\n", derr)
+			}
+			fmt.Fprintf(os.Stderr, "icash-serve: served %d requests (%d reads, %d writes) before shutdown\n",
+				total.Requests, total.Reads, total.Writes)
 			return err
 		}
-		go handleConn(conn, backend, window, imageBlocks, vms)
+		go handleConn(conn, backend, registry, window, imageBlocks, vms)
 	}
 }
 
 // handleConn runs one session over a TCP connection.
-func handleConn(conn net.Conn, backend server.Backend, window int, imageBlocks int64, vms int) {
+func handleConn(conn net.Conn, backend server.Backend, registry *server.Registry, window int, imageBlocks int64, vms int) {
 	defer conn.Close()
 	partition := func(vm uint32) (int64, int64, bool) {
 		if vm == server.AnyVM {
@@ -153,6 +146,12 @@ func handleConn(conn net.Conn, backend server.Backend, window int, imageBlocks i
 	}
 	sess := server.NewSession(conn.RemoteAddr().String(), backend,
 		server.SessionOptions{MaxWindow: window, Partition: partition})
+	id, err := registry.Add(sess)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icash-serve: %v\n", err)
+		return
+	}
+	defer registry.Remove(id)
 	buf := make([]byte, 256<<10)
 	for {
 		n, rerr := conn.Read(buf)

@@ -367,7 +367,7 @@ func RunExperiments(ids []string, opts workload.Options) (string, error) {
 	}
 	points := make([]pointResult, len(grid))
 	errs := make([]error, len(grid))
-	firstErr := forEachPoint(len(grid), func(i int) error {
+	firstErr := ForEachPoint(len(grid), func(i int) error {
 		g := grid[i]
 		pt, err := runPoint(profiles[g.profile], opts, cfgs[g.profile], g.kind)
 		if err != nil {
@@ -378,7 +378,7 @@ func RunExperiments(ids []string, opts workload.Options) (string, error) {
 		return nil
 	})
 	// The first failing grid index (the same failure a serial loop would
-	// hit first — forEachPoint returns exactly that error) truncates the
+	// hit first — ForEachPoint returns exactly that error) truncates the
 	// report at its benchmark's boundary.
 	failProfile := len(profiles)
 	if firstErr != nil {

@@ -17,7 +17,7 @@ import (
 // back in submission order. Parallel across runs, never within a run
 // (DESIGN.md §11).
 
-// parallelism is the worker count for forEachPoint; 0 means GOMAXPROCS.
+// parallelism is the worker count for ForEachPoint; 0 means GOMAXPROCS.
 var parallelism atomic.Int32
 
 // SetParallelism sets how many experiment points may run concurrently.
@@ -39,14 +39,20 @@ func Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// forEachPoint runs fn(0..n-1), fanning across min(Parallelism(), n)
+// ForEachPoint runs fn(0..n-1), fanning across min(Parallelism(), n)
 // workers. Results must be gathered by index into caller-owned slices —
 // that is what keeps the output independent of completion order. The
 // returned error is the lowest-index failure (the same one a serial
 // loop would hit first), so error reporting is deterministic too. With
 // one worker the calling goroutine runs every point itself, stopping at
 // the first failure exactly like the historical loop.
-func forEachPoint(n int, fn func(int) error) error {
+//
+// This is the module's blessed fan-out primitive: every package that
+// wants experiment-point parallelism routes through it (the goroutines
+// analyzer rejects hand-rolled worker pools in internal/), so the
+// determinism argument — independent points, index-gathered results,
+// lowest-index error — lives in exactly one place.
+func ForEachPoint(n int, fn func(int) error) error {
 	p := Parallelism()
 	if p > n {
 		p = n

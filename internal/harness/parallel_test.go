@@ -102,7 +102,7 @@ func TestForEachPointOrderAndErrors(t *testing.T) {
 	for _, n := range []int{1, 3, 16} {
 		withParallelism(t, n, func() {
 			visited := make([]bool, 40)
-			err := forEachPoint(len(visited), func(i int) error {
+			err := ForEachPoint(len(visited), func(i int) error {
 				visited[i] = true
 				if i == 7 || i == 23 {
 					return errAt(i)

@@ -361,7 +361,7 @@ func RunBenchmark(p workload.Profile, opts workload.Options, systems []Kind) (*B
 	br := &BenchmarkRun{Profile: p, Opts: opts, Order: systems, Results: make(map[Kind]*Result)}
 	cfg := benchConfig(p, opts)
 	points := make([]pointResult, len(systems))
-	err := forEachPoint(len(systems), func(i int) error {
+	err := ForEachPoint(len(systems), func(i int) error {
 		pt, err := runPoint(p, opts, cfg, systems[i])
 		if err != nil {
 			return err

@@ -40,7 +40,7 @@ func QDSweep(depths []int, opts workload.Options) (string, error) {
 	// byte what the serial sweep prints.
 	runs := make([]*BenchmarkRun, len(depths))
 	var firstErr error
-	err := forEachPoint(len(depths), func(i int) error {
+	err := ForEachPoint(len(depths), func(i int) error {
 		o := opts
 		o.QueueDepth = depths[i]
 		br, err := RunBenchmark(p, o, []Kind{RAID0})
@@ -98,7 +98,7 @@ func WriteQDSweep(depths []int, opts workload.Options) (string, error) {
 	// at every worker count.
 	runs := make([]*BenchmarkRun, len(depths))
 	var firstErr error
-	err := forEachPoint(len(depths), func(i int) error {
+	err := ForEachPoint(len(depths), func(i int) error {
 		o := opts
 		o.QueueDepth = depths[i]
 		br, err := RunBenchmark(p, o, []Kind{ICASH})

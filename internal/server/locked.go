@@ -1,0 +1,58 @@
+package server
+
+import (
+	"sync"
+
+	"icash/internal/sim"
+)
+
+// LockedBackend serializes concurrent sessions onto a single-threaded
+// backend. The controller stack is deliberately not safe for concurrent
+// use — determinism comes from single-threaded mutation under one
+// sim.Clock — so the real-TCP front end funnels every connection
+// through this one mutex. The simulated durations the devices return
+// are reported on the wire but not slept out.
+//
+// This is the pre-sharding concurrency story: one global lock, zero
+// parallelism inside the array. The sharded controller (ROADMAP item 1)
+// replaces this funnel with per-shard instances composed under
+// lockmap-style per-address locking; until then, LockedBackend is the
+// only lock in the serving path and the root of the lockorder
+// analyzer's acquisition-order graph for this package.
+type LockedBackend struct {
+	mu    sync.Mutex
+	inner Backend
+}
+
+// NewLockedBackend wraps inner so any number of goroutines may share it.
+func NewLockedBackend(inner Backend) *LockedBackend {
+	return &LockedBackend{inner: inner}
+}
+
+// ReadBlock serializes a read onto the inner backend.
+func (b *LockedBackend) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inner.ReadBlock(lba, buf)
+}
+
+// WriteBlock serializes a write onto the inner backend.
+func (b *LockedBackend) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inner.WriteBlock(lba, buf)
+}
+
+// Flush serializes a flush onto the inner backend.
+func (b *LockedBackend) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inner.Flush()
+}
+
+// Blocks reports the inner backend's size.
+func (b *LockedBackend) Blocks() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inner.Blocks()
+}

@@ -3,8 +3,6 @@ package server
 import (
 	"fmt"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"icash/internal/harness"
 	"icash/internal/metrics"
@@ -41,35 +39,23 @@ func ServeSweep(depths []int, opts workload.Options) (string, error) {
 		p.Name, opts.Scale, opts.MaxOps)
 
 	points := make([]servePoint, len(depths))
-	workers := harness.Parallelism()
-	if workers > len(depths) {
-		workers = len(depths)
+	// Per-point failures are kept in the point (the table renders FAILED
+	// rows), so the fan-out itself never errors.
+	if err := harness.ForEachPoint(len(depths), func(i int) error {
+		o := opts
+		o.QueueDepth = depths[i]
+		pt := servePoint{}
+		pt.direct, pt.err = harness.RunBenchmark(p, o, []harness.Kind{harness.ICASH})
+		if pt.err == nil {
+			cfg := DefaultSimConfig()
+			cfg.Window = depths[i]
+			pt.served, pt.err = RunServed(p, o, cfg)
+		}
+		points[i] = pt
+		return nil
+	}); err != nil {
+		return "", err
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(depths) {
-					return
-				}
-				o := opts
-				o.QueueDepth = depths[i]
-				pt := servePoint{}
-				pt.direct, pt.err = harness.RunBenchmark(p, o, []harness.Kind{harness.ICASH})
-				if pt.err == nil {
-					cfg := DefaultSimConfig()
-					cfg.Window = depths[i]
-					pt.served, pt.err = RunServed(p, o, cfg)
-				}
-				points[i] = pt
-			}
-		}()
-	}
-	wg.Wait()
 
 	var firstErr error
 	for i, qd := range depths {
