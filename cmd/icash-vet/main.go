@@ -1,18 +1,24 @@
 // Command icash-vet runs the repo-specific static analyzer suite
 // (internal/analysis) over the module: detclock, maporder, errclass,
-// latcharge, poolreturn and verifyread — the compile-time enforcement
-// of the determinism, error-handling and data-integrity invariants the
+// latcharge, poolreturn, verifyread, lockorder, goroutines and
+// staleignore — the compile-time enforcement of the determinism,
+// error-handling, data-integrity and concurrency invariants the
 // simulation's correctness rests on.
 //
 // Usage:
 //
-//	icash-vet [-list] [packages]
+//	icash-vet [-list] [-json] [-strict] [-baseline file] [-writebaseline file] [packages]
 //
 // Package patterns are module-relative ("./...", "./internal/ssd");
 // the default is "./...". Findings print one per line in vet format
-// (file:line:col: analyzer: message) and any finding exits 1. A
-// known-good site is suppressed with a //lint:ignore directive on its
-// line or the line above:
+// (file:line:col: analyzer: message) and any finding exits 1, with two
+// exceptions: staleignore findings (suppression directives that no
+// longer suppress anything) are warnings unless -strict, and findings
+// recorded in a -baseline file are parked. -json emits the icash-vet/1
+// JSON document instead of text; -writebaseline regenerates a baseline
+// file from the current hard findings and exits clean. A known-good
+// site is suppressed with a //lint:ignore directive on its line or the
+// line above:
 //
 //	//lint:ignore <analyzer> <reason>
 package main
@@ -26,18 +32,29 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the analyzer catalog and exit")
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	var (
+		list          = flag.Bool("list", false, "list the analyzer catalog and exit")
+		jsonOut       = flag.Bool("json", false, "emit findings as an icash-vet/1 JSON document")
+		strict        = flag.Bool("strict", false, "treat staleignore findings as errors, not warnings")
+		baselinePath  = flag.String("baseline", "", "suppress findings recorded in this baseline file")
+		writeBaseline = flag.String("writebaseline", "", "write current findings to this baseline file and exit clean")
+	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: icash-vet [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: icash-vet [-list] [-json] [-strict] [-baseline file] [-writebaseline file] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range analysis.Catalog() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	patterns := flag.Args()
@@ -47,23 +64,79 @@ func main() {
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "icash-vet:", err)
-		os.Exit(2)
+		return 2
 	}
 	root, err := analysis.FindModuleRoot(wd)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "icash-vet:", err)
-		os.Exit(2)
+		return 2
 	}
 	findings, err := analysis.Vet(root, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "icash-vet:", err)
-		os.Exit(2)
+		return 2
 	}
+
+	// Stale suppressions are hygiene, not correctness: warn by default,
+	// fail only under -strict (CI). Everything else is hard.
+	var hard, stale []analysis.Finding
 	for _, f := range findings {
-		fmt.Println(f)
+		if f.Analyzer == "staleignore" {
+			stale = append(stale, f)
+		} else {
+			hard = append(hard, f)
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "icash-vet: %d finding(s)\n", len(findings))
-		os.Exit(1)
+
+	if *baselinePath != "" {
+		set, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "icash-vet:", err)
+			return 2
+		}
+		var parked int
+		hard, parked = analysis.FilterBaseline(root, hard, set)
+		if parked > 0 {
+			fmt.Fprintf(os.Stderr, "icash-vet: %d finding(s) parked in %s\n", parked, *baselinePath)
+		}
 	}
+
+	if *writeBaseline != "" {
+		if err := analysis.WriteBaseline(*writeBaseline, root, hard); err != nil {
+			fmt.Fprintln(os.Stderr, "icash-vet:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "icash-vet: wrote %d finding(s) to %s\n", len(hard), *writeBaseline)
+		return 0
+	}
+
+	failing := hard
+	if *strict {
+		failing = append(failing, stale...)
+	}
+
+	if *jsonOut {
+		out, err := analysis.MarshalFindings(root, failing)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "icash-vet:", err)
+			return 2
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, f := range hard {
+			fmt.Println(f)
+		}
+		for _, f := range stale {
+			if *strict {
+				fmt.Println(f)
+			} else {
+				fmt.Printf("warning: %s\n", f)
+			}
+		}
+	}
+	if len(failing) > 0 {
+		fmt.Fprintf(os.Stderr, "icash-vet: %d finding(s)\n", len(failing))
+		return 1
+	}
+	return 0
 }

@@ -49,6 +49,11 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings on pass.
 	Run func(pass *Pass)
+	// Finish, if set, runs once after every package's Run, over the
+	// module-wide facts Run accumulated on the Program. lockorder uses
+	// it: acquisition-order cycles only exist across the whole edge
+	// set, never inside one package's view.
+	Finish func(prog *Program) []Finding
 }
 
 // Catalog returns every analyzer in the suite, in stable order.
@@ -60,6 +65,9 @@ func Catalog() []*Analyzer {
 		LatCharge,
 		PoolReturn,
 		VerifyRead,
+		LockOrder,
+		Goroutines,
+		StaleIgnore,
 	}
 }
 
@@ -74,6 +82,11 @@ type Pass struct {
 	Pkg *types.Package
 	// Info holds the type-checker's expression and identifier facts.
 	Info *types.Info
+	// Prog is the module-wide interprocedural view: per-function
+	// summaries, the call graph, and memoized transitive queries
+	// (summary.go). Analyzers use it to see one call past the package
+	// under analysis.
+	Prog *Program
 
 	findings *[]Finding
 }
@@ -119,8 +132,10 @@ func sortFindings(fs []Finding) {
 }
 
 // RunAnalyzers applies every analyzer in catalog to pkg and returns the
-// raw findings (suppressions not yet applied).
-func RunAnalyzers(catalog []*Analyzer, pkg *Package) []Finding {
+// raw findings (suppressions not yet applied). prog is the shared
+// interprocedural view; the caller runs any Finish hooks itself once
+// every package has been analyzed.
+func RunAnalyzers(catalog []*Analyzer, pkg *Package, prog *Program) []Finding {
 	var findings []Finding
 	for _, a := range catalog {
 		pass := &Pass{
@@ -129,6 +144,7 @@ func RunAnalyzers(catalog []*Analyzer, pkg *Package) []Finding {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Prog:     prog,
 			findings: &findings,
 		}
 		a.Run(pass)

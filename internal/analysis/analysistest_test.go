@@ -44,7 +44,12 @@ func runFixture(t *testing.T, a *Analyzer, name, asPath string) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	findings := applyIgnores(pkg, RunAnalyzers([]*Analyzer{a}, pkg))
+	prog := NewProgram(l)
+	findings := RunAnalyzers([]*Analyzer{a}, pkg, prog)
+	if a.Finish != nil {
+		findings = append(findings, a.Finish(prog)...)
+	}
+	findings = applyIgnores(pkg, findings)
 	sortFindings(findings)
 
 	wants := parseWants(t, pkg.Fset, pkg)
@@ -114,8 +119,8 @@ func TestWantMarkersDoNotLeakIntoFindings(t *testing.T) {
 			t.Fatalf("catalog entry %+v incomplete", a)
 		}
 	}
-	if len(Catalog()) != 6 {
-		t.Fatalf("catalog has %d analyzers, want 6", len(Catalog()))
+	if len(Catalog()) != 9 {
+		t.Fatalf("catalog has %d analyzers, want 9", len(Catalog()))
 	}
 }
 

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline mode lets the suite grow while legacy findings are burned
+// down: icash-vet -baseline vet.baseline suppresses exactly the
+// findings recorded in the file, so a new analyzer can land with its
+// pre-existing debt parked and every NEW violation still failing the
+// build.
+//
+// An entry keys on analyzer, root-relative file, and message —
+// deliberately NOT the line number, so unrelated edits above a parked
+// finding do not resurrect it. Moving the finding to another file, or
+// any change to its message (which embeds the specifics that matter:
+// lock class, function name), retires the entry; staleignore-style
+// hygiene comes for free because -writebaseline regenerates the file
+// sorted and de-duplicated, and a committed baseline that shrinks is a
+// reviewable diff.
+//
+// The file format is one entry per line, tab-separated:
+//
+//	analyzer<TAB>file<TAB>message
+//
+// Blank lines and #-comments are skipped. The repo commits an empty
+// vet.baseline: the tree carries no parked debt, and the file existing
+// keeps the mode exercised by CI.
+
+// baselineKey renders the line-number-insensitive identity of f.
+func baselineKey(root string, f Finding) string {
+	return f.Analyzer + "\t" + rootRelative(root, f.Pos.Filename) + "\t" + f.Message
+}
+
+// LoadBaseline reads a baseline file into a suppression set.
+func LoadBaseline(path string) (map[string]bool, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: baseline: %w", err)
+	}
+	defer file.Close()
+	set := make(map[string]bool)
+	sc := bufio.NewScanner(file)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, "\t") < 2 {
+			return nil, fmt.Errorf("analysis: baseline %s: malformed entry %q (want analyzer<TAB>file<TAB>message)", path, line)
+		}
+		set[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("analysis: baseline: %w", err)
+	}
+	return set, nil
+}
+
+// FilterBaseline drops findings recorded in the baseline set and
+// returns the survivors (alongside how many were parked).
+func FilterBaseline(root string, findings []Finding, baseline map[string]bool) (kept []Finding, parked int) {
+	for _, f := range findings {
+		if baseline[baselineKey(root, f)] {
+			parked++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, parked
+}
+
+// WriteBaseline writes findings as a sorted, de-duplicated baseline
+// file at path.
+func WriteBaseline(path, root string, findings []Finding) error {
+	seen := make(map[string]bool)
+	var lines []string
+	for _, f := range findings {
+		k := baselineKey(root, f)
+		if !seen[k] {
+			seen[k] = true
+			lines = append(lines, k)
+		}
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	b.WriteString("# icash-vet baseline: parked findings (analyzer<TAB>file<TAB>message per line).\n")
+	b.WriteString("# Regenerate with: go run ./cmd/icash-vet -writebaseline vet.baseline ./...\n")
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

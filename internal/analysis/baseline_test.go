@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baselineFinding(file string, line int, analyzer, msg string) Finding {
+	return Finding{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+// TestBaselineParksLegacyFailsNew is the mode's contract: a recorded
+// finding is suppressed even after its line number drifts, while a new
+// finding in the same file still fails.
+func TestBaselineParksLegacyFailsNew(t *testing.T) {
+	root := t.TempDir()
+	legacy := baselineFinding(filepath.Join(root, "internal", "x", "x.go"), 10, "lockorder", "legacy cycle")
+	path := filepath.Join(root, "vet.baseline")
+	if err := WriteBaseline(path, root, []Finding{legacy}); err != nil {
+		t.Fatal(err)
+	}
+	set, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same finding, different line: still parked (edits above it must
+	// not resurrect parked debt).
+	moved := legacy
+	moved.Pos.Line = 99
+	fresh := baselineFinding(filepath.Join(root, "internal", "x", "x.go"), 11, "lockorder", "new cycle")
+	kept, parked := FilterBaseline(root, []Finding{moved, fresh}, set)
+	if parked != 1 {
+		t.Errorf("parked = %d, want 1", parked)
+	}
+	if len(kept) != 1 || kept[0].Message != "new cycle" {
+		t.Errorf("kept = %v, want only the new finding", kept)
+	}
+}
+
+// TestBaselineFileFormat pins the on-disk format: sorted unique
+// tab-separated entries under # comments, blanks skipped, malformed
+// entries rejected loudly.
+func TestBaselineFileFormat(t *testing.T) {
+	root := t.TempDir()
+	f1 := baselineFinding(filepath.Join(root, "b.go"), 1, "zeta", "msg z")
+	f2 := baselineFinding(filepath.Join(root, "a.go"), 1, "alpha", "msg a")
+	path := filepath.Join(root, "vet.baseline")
+	if err := WriteBaseline(path, root, []Finding{f1, f2, f1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		entries = append(entries, line)
+	}
+	want := []string{"alpha\ta.go\tmsg a", "zeta\tb.go\tmsg z"}
+	if len(entries) != 2 || entries[0] != want[0] || entries[1] != want[1] {
+		t.Errorf("baseline entries = %q, want %q", entries, want)
+	}
+
+	set, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Errorf("loaded %d entries, want 2", len(set))
+	}
+
+	bad := filepath.Join(root, "bad.baseline")
+	if err := os.WriteFile(bad, []byte("just one field\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(bad); err == nil || !strings.Contains(err.Error(), "malformed entry") {
+		t.Errorf("malformed baseline accepted (err = %v)", err)
+	}
+}
+
+// TestBaselineEmptyCommitted: the committed vet.baseline (no parked
+// debt) loads to an empty set — the tree starts every PR clean.
+func TestBaselineEmptyCommitted(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := LoadBaseline(filepath.Join(root, "vet.baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 0 {
+		t.Errorf("committed baseline carries %d parked findings; burn them down or justify in the file header", len(set))
+	}
+}

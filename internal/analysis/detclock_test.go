@@ -24,7 +24,7 @@ func TestDetClockOutOfScope(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fs := RunAnalyzers([]*Analyzer{DetClock}, pkg); len(fs) != 0 {
+	if fs := RunAnalyzers([]*Analyzer{DetClock}, pkg, newProgram()); len(fs) != 0 {
 		t.Fatalf("detclock fired outside internal/: %v", fs)
 	}
 }
@@ -54,7 +54,7 @@ func TestDetClockAllowsOwnerPackages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fs := RunAnalyzers([]*Analyzer{DetClock}, pkg); len(fs) != 0 {
+	if fs := RunAnalyzers([]*Analyzer{DetClock}, pkg, newProgram()); len(fs) != 0 {
 		t.Fatalf("detclock flagged clock mutation in an owner package: %v", fs)
 	}
 }

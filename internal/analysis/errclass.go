@@ -33,6 +33,12 @@ import (
 //     checks) and switches on an error value: sentinel identity does
 //     not survive wrapping — use errors.Is, errors.As, or
 //     fault.Classify.
+//
+// Outside those packages the analyzer goes interprocedural: using the
+// Program's function summaries it flags blanked or dropped errors whose
+// callee — directly or through any chain of module wrappers — returns
+// an error sourced from a device call. A one-level wrapper cannot hide
+// a dropped classification.
 var ErrClass = &Analyzer{
 	Name: "errclass",
 	Doc:  "device-layer errors must be classified or %w-wrapped, never discarded or identity-compared",
@@ -59,6 +65,7 @@ func inErrClassScope(path string) bool {
 
 func runErrClass(pass *Pass) {
 	if !inErrClassScope(pass.Pkg.Path()) {
+		runErrClassInterproc(pass)
 		return
 	}
 	for _, file := range pass.Files {
@@ -81,6 +88,82 @@ func runErrClass(pass *Pass) {
 			}
 			return true
 		})
+	}
+}
+
+// runErrClassInterproc extends the discard checks to the rest of the
+// module via function summaries. Outside the device-layer packages most
+// errors are the caller's business — but an error that originates at
+// the device layer does not stop being a device error because a wrapper
+// re-exported it: if the callee (directly, or through any chain of
+// summarized module functions) returns an error sourced from a device
+// call, blanking or dropping it is the same silent-data-loss bug the
+// in-scope checks catch, one level up.
+func runErrClassInterproc(pass *Pass) {
+	if pass.Prog == nil || !strings.HasPrefix(pass.Pkg.Path(), "icash/") {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkBlankDeviceError(pass, n)
+			case *ast.ExprStmt:
+				checkDroppedDeviceError(pass, n.X, "")
+			case *ast.DeferStmt:
+				checkDroppedDeviceError(pass, n.Call, "defer ")
+			case *ast.GoStmt:
+				checkDroppedDeviceError(pass, n.Call, "go ")
+			}
+			return true
+		})
+	}
+}
+
+// deviceErrorCall reports whether call returns an error that originates
+// at the device layer: a direct device/station call, or a summarized
+// module function the Program knows forwards a device error.
+func deviceErrorCall(pass *Pass, call *ast.CallExpr) (*types.Func, bool) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || !returnsError(pass, call) {
+		return nil, false
+	}
+	if isDirectDeviceCall(pass.Info, call) {
+		return fn, true
+	}
+	return fn, pass.Prog.DeviceErrorSource(fn)
+}
+
+// checkBlankDeviceError flags `x, _ := wrapper()` where wrapper's error
+// is device-originated.
+func checkBlankDeviceError(pass *Pass, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" || !isErrorType(blankedType(pass, as, i)) {
+			continue
+		}
+		rhs := as.Rhs[min(i, len(as.Rhs)-1)]
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if fn, tainted := deviceErrorCall(pass, call); tainted {
+			pass.Reportf(lhs.Pos(),
+				"error from %s discarded with _, but it originates at the device layer (via the call chain): a wrapper does not launder a device error — handle or return it", fn.Name())
+		}
+	}
+}
+
+// checkDroppedDeviceError flags statements that drop the whole result
+// of a device-error-tainted call.
+func checkDroppedDeviceError(pass *Pass, e ast.Expr, prefix string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if fn, tainted := deviceErrorCall(pass, call); tainted {
+		pass.Reportf(call.Pos(),
+			"%sstatement drops the error of %s, which originates at the device layer (via the call chain): check it or assign it explicitly", prefix, fn.Name())
 	}
 }
 

@@ -8,6 +8,15 @@ func TestErrClassFixture(t *testing.T) {
 	runFixture(t, ErrClass, "errclass", "icash/internal/fault/fixtureerr")
 }
 
+// TestErrClassInterprocFixture runs errclass over the interprocedural
+// fixture, mounted OUTSIDE the device-layer scope: only blanked or
+// dropped errors whose callee chain reaches a device call are findings
+// there — a one-level (or two-level) wrapper cannot launder the taint,
+// and pure local errors stay the caller's business.
+func TestErrClassInterprocFixture(t *testing.T) {
+	runFixture(t, ErrClass, "errclassinterproc", "icash/internal/wrapfix")
+}
+
 // TestErrClassOutOfScope proves the discipline does not apply outside
 // the device-layer packages (reporting/tool code may drop fmt errors
 // freely without suppressions).
@@ -25,7 +34,7 @@ func TestErrClassOutOfScope(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fs := RunAnalyzers([]*Analyzer{ErrClass}, pkg); len(fs) != 0 {
+	if fs := RunAnalyzers([]*Analyzer{ErrClass}, pkg, newProgram()); len(fs) != 0 {
 		t.Fatalf("errclass fired outside the device layer: %v", fs)
 	}
 }

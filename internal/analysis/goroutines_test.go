@@ -1,0 +1,38 @@
+package analysis
+
+import "testing"
+
+// TestGoroutinesFixture runs the concurrency-containment analyzer over
+// its golden fixture, mounted at a plain internal/ path where no
+// allowance applies.
+func TestGoroutinesFixture(t *testing.T) {
+	runFixture(t, Goroutines, "goroutines", "icash/internal/gofix")
+}
+
+// TestGoroutinesAllowFixture mounts a fixture at the harness path:
+// ForEachPoint (the blessed fan-out primitive) may spawn, its package
+// neighbors may not.
+func TestGoroutinesAllowFixture(t *testing.T) {
+	runFixture(t, Goroutines, "goroutinesallow", "icash/internal/harness")
+}
+
+// TestGoroutinesAllowedPackages proves the approved machinery packages
+// (event engine, crash harness) are exempt wholesale.
+func TestGoroutinesAllowedPackages(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Lenient = true
+	pkg, err := l.LoadDir("testdata/src/goroutines", "icash/internal/sim/event")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := RunAnalyzers([]*Analyzer{Goroutines}, pkg, newProgram()); len(fs) != 0 {
+		t.Fatalf("goroutines fired inside an approved package: %v", fs)
+	}
+}

@@ -6,23 +6,26 @@ import (
 	"strings"
 )
 
-// ignoreDirective is one parsed //lint:ignore comment.
+// ignoreDirective is one parsed //lint:ignore comment. used flips when
+// the directive suppresses at least one finding; a tracked application
+// (the vet pipeline) reports directives that never flip as staleignore
+// findings.
 type ignoreDirective struct {
 	pos       token.Position
 	analyzers []string // analyzer names the directive silences
 	reason    string   // mandatory justification
+	used      bool
 }
 
 // parseIgnores extracts every //lint:ignore directive from pkg's
-// comments. Malformed directives (no analyzer, no reason, or a name
-// not in the catalog) are returned as findings so a typo cannot
-// silently disable a check.
-func parseIgnores(pkg *Package) (byLine map[string][]ignoreDirective, bad []Finding) {
+// comments, in source order. Malformed directives (no analyzer, no
+// reason, or a name not in the catalog) are returned as findings so a
+// typo cannot silently disable a check.
+func parseIgnores(pkg *Package) (dirs []*ignoreDirective, bad []Finding) {
 	known := make(map[string]bool)
 	for _, a := range Catalog() {
 		known[a.Name] = true
 	}
-	byLine = make(map[string][]ignoreDirective)
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -55,47 +58,100 @@ func parseIgnores(pkg *Package) (byLine map[string][]ignoreDirective, bad []Find
 				if !valid {
 					continue
 				}
-				d := ignoreDirective{
+				dirs = append(dirs, &ignoreDirective{
 					pos:       pos,
 					analyzers: names,
 					reason:    strings.Join(fields[1:], " "),
-				}
-				byLine[lineKey(pos.Filename, pos.Line)] = append(byLine[lineKey(pos.Filename, pos.Line)], d)
+				})
 			}
 		}
 	}
-	return byLine, bad
+	return dirs, bad
 }
 
 func lineKey(file string, line int) string {
 	return file + "\x00" + strconv.Itoa(line)
 }
 
-// applyIgnores filters findings suppressed by a //lint:ignore directive
-// on the finding's own line or the line directly above it, and appends
-// findings for malformed directives.
+// directivesByLine indexes directives by file and line.
+func directivesByLine(dirs []*ignoreDirective) map[string][]*ignoreDirective {
+	byLine := make(map[string][]*ignoreDirective)
+	for _, d := range dirs {
+		k := lineKey(d.pos.Filename, d.pos.Line)
+		byLine[k] = append(byLine[k], d)
+	}
+	return byLine
+}
+
+// matchDirective returns the directive that suppresses f (a directive
+// on the finding's own line or the line directly above, naming the
+// finding's analyzer), or nil.
+func matchDirective(byLine map[string][]*ignoreDirective, f Finding) *ignoreDirective {
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, d := range byLine[lineKey(f.Pos.Filename, line)] {
+			for _, name := range d.analyzers {
+				if name == f.Analyzer {
+					return d
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// applyIgnores filters findings suppressed by pkg's //lint:ignore
+// directives and appends findings for malformed ones. This is the
+// single-package, staleness-blind application the fixture harness uses:
+// a fixture run executes one analyzer, so "this directive suppressed
+// nothing" would be meaningless there.
 func applyIgnores(pkg *Package, findings []Finding) []Finding {
-	byLine, bad := parseIgnores(pkg)
+	dirs, bad := parseIgnores(pkg)
+	byLine := directivesByLine(dirs)
 	var kept []Finding
 	for _, f := range findings {
-		if ignored(byLine, f) {
+		if matchDirective(byLine, f) != nil {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return append(kept, bad...)
+}
+
+// applyIgnoresTracked is the vet pipeline's application: it merges the
+// directives of every vetted package, filters the full catalog's
+// findings through them while tracking usage, and appends malformed-
+// directive findings plus one staleignore finding per directive that
+// suppressed nothing. Only meaningful after the complete catalog ran —
+// a directive is stale against all analyzers or none.
+func applyIgnoresTracked(pkgs []*Package, findings []Finding) []Finding {
+	var dirs []*ignoreDirective
+	var bad []Finding
+	for _, pkg := range pkgs {
+		d, b := parseIgnores(pkg)
+		dirs = append(dirs, d...)
+		bad = append(bad, b...)
+	}
+	byLine := directivesByLine(dirs)
+	var kept []Finding
+	for _, f := range findings {
+		if d := matchDirective(byLine, f); d != nil {
+			d.used = true
 			continue
 		}
 		kept = append(kept, f)
 	}
 	kept = append(kept, bad...)
-	return kept
-}
-
-func ignored(byLine map[string][]ignoreDirective, f Finding) bool {
-	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
-		for _, d := range byLine[lineKey(f.Pos.Filename, line)] {
-			for _, name := range d.analyzers {
-				if name == f.Analyzer {
-					return true
-				}
-			}
+	for _, d := range dirs {
+		if d.used {
+			continue
 		}
+		kept = append(kept, Finding{
+			Pos:      d.pos,
+			Analyzer: "staleignore",
+			Message: "//lint:ignore " + strings.Join(d.analyzers, ",") +
+				" suppresses nothing: the finding it excused is gone — delete the directive (reason was: " +
+				strconv.Quote(d.reason) + ")",
+		})
 	}
-	return false
+	return kept
 }

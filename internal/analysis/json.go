@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+)
+
+// JSON output. Schema "icash-vet/1":
+//
+//	{
+//	  "schema": "icash-vet/1",
+//	  "findings": [
+//	    {"file": "internal/core/iopath.go", "line": 12, "col": 3,
+//	     "analyzer": "errclass", "message": "..."}
+//	  ]
+//	}
+//
+// File paths are module-root-relative with forward slashes, so reports
+// diff cleanly across machines and checkouts. "findings" is always
+// present (an empty array when clean), sorted in the suite's stable
+// order. The schema field lets downstream tooling hard-fail on a
+// format change instead of misparsing one.
+
+// JSONReport is the icash-vet/1 document.
+type JSONReport struct {
+	Schema   string        `json:"schema"`
+	Findings []JSONFinding `json:"findings"`
+}
+
+// JSONFinding is one finding, root-relative.
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonSchemaVersion identifies the report format.
+const jsonSchemaVersion = "icash-vet/1"
+
+// MarshalFindings renders findings as an indented icash-vet/1 JSON
+// document, with file paths relative to root.
+func MarshalFindings(root string, findings []Finding) ([]byte, error) {
+	rep := JSONReport{Schema: jsonSchemaVersion, Findings: []JSONFinding{}}
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, JSONFinding{
+			File:     rootRelative(root, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	return json.MarshalIndent(rep, "", "  ")
+}
+
+// UnmarshalFindings parses an icash-vet/1 document, rejecting unknown
+// schema versions.
+func UnmarshalFindings(data []byte) (*JSONReport, error) {
+	var rep JSONReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("analysis: parsing vet JSON: %w", err)
+	}
+	if rep.Schema != jsonSchemaVersion {
+		return nil, fmt.Errorf("analysis: unsupported vet JSON schema %q (want %q)", rep.Schema, jsonSchemaVersion)
+	}
+	return &rep, nil
+}
+
+// rootRelative renders path relative to root with forward slashes,
+// falling back to the input when it does not sit under root.
+func rootRelative(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		return filepath.ToSlash(path)
+	}
+	return filepath.ToSlash(rel)
+}

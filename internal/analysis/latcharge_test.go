@@ -34,7 +34,7 @@ func TestLatChargeOutOfScope(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fs := RunAnalyzers([]*Analyzer{LatCharge}, pkg); len(fs) != 0 {
+	if fs := RunAnalyzers([]*Analyzer{LatCharge}, pkg, newProgram()); len(fs) != 0 {
 		t.Fatalf("latcharge fired outside the device models: %v", fs)
 	}
 }

@@ -1,0 +1,396 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder proves the locking discipline the sharded controller
+// (ROADMAP item 1) will lean on, before the sharding lands: every lock
+// acquisition in the concurrency-bearing packages respects one global
+// acquisition order, and no lock is held across a blocking device or
+// station call.
+//
+// The analyzer walks each function with a lexical held-set (Lock pushes
+// a class, Unlock pops it, a deferred Unlock holds to the end of the
+// function) and:
+//
+//   - records an edge A → B in the module-wide acquisition-order graph
+//     whenever class B is acquired — directly, or anywhere inside a
+//     called module function (via its summary) — while class A is held.
+//     After all packages are analyzed, the Finish hook reports every
+//     edge that lies on a cycle: two goroutines taking the same pair of
+//     locks in opposite orders is the classic ABBA deadlock, and a
+//     self-edge is a recursive acquisition that deadlocks on its own
+//     (sync.Mutex is not reentrant);
+//   - flags any (transitively) blocking device or station call made
+//     while a lock is held: under the pre-sharding single-funnel
+//     design that turns one slow device op into a stall of every
+//     session, and under the sharded design it is how a per-shard lock
+//     ends up serializing the array. The one deliberate funnel,
+//     server.LockedBackend, carries //lint:ignore directives saying so.
+//
+// Lock classes are static "slots", not runtime instances:
+// "server.Registry.mu" is one class however many registries exist, and
+// a lockmap.LockMap is one class per declared map — ordering between
+// addresses inside a map is Acquire2's canonical-order contract, which
+// this analyzer cannot see and the -race jobs cover instead.
+var LockOrder = &Analyzer{
+	Name:   "lockorder",
+	Doc:    "lock acquisitions must follow one global order and never span blocking device/station calls",
+	Run:    runLockOrder,
+	Finish: finishLockOrder,
+}
+
+// lockOrderScopes are the package prefixes the discipline applies to:
+// the packages that hold real locks (or soon will). Keeping the scope
+// tight keeps the graph readable; a new concurrent package earns its
+// place here the day it declares a mutex.
+var lockOrderScopes = []string{
+	"icash/internal/core",
+	"icash/internal/server",
+	"icash/internal/lockmap",
+	"icash/cmd/icash-serve",
+}
+
+func inLockOrderScope(path string) bool {
+	for _, s := range lockOrderScopes {
+		if path == s || strings.HasPrefix(path, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// lockEdge is one observed acquisition ordering: to was acquired while
+// from was held, at pos (inside pkg).
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	position token.Position
+}
+
+// heldLock is one entry of the lexical held-set.
+type heldLock struct {
+	class    string
+	deferred bool // released by defer: held to end of function
+}
+
+func runLockOrder(pass *Pass) {
+	if pass.Prog == nil || !inLockOrderScope(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walkLockOrder(pass, fd)
+		}
+	}
+}
+
+// walkLockOrder runs the lexical held-set over one function body.
+// Statements are walked in order; each branch of an if/for/switch/
+// select gets a copy of the held-set, so a lock acquired (or released)
+// on an early-return path does not pollute the fall-through path. This
+// models the repo's straight-line-plus-early-return style exactly; a
+// lock acquired in one branch and released in a later sibling branch is
+// beyond it, in the suite's "biased quiet" tradition.
+func walkLockOrder(pass *Pass, fd *ast.FuncDecl) {
+	w := &lockWalker{pass: pass, deferred: make(map[*ast.CallExpr]bool)}
+	held := []heldLock{}
+	w.stmts(fd.Body.List, &held)
+}
+
+type lockWalker struct {
+	pass     *Pass
+	deferred map[*ast.CallExpr]bool
+}
+
+func copyHeld(held []heldLock) []heldLock {
+	out := make([]heldLock, len(held))
+	copy(out, held)
+	return out
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, held *[]heldLock) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held *[]heldLock) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		w.stmt(s.Init, held)
+		w.calls(s.Cond, held)
+		branch := copyHeld(*held)
+		w.stmt(s.Body, &branch)
+		if s.Else != nil {
+			elseBranch := copyHeld(*held)
+			w.stmt(s.Else, &elseBranch)
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init, held)
+		if s.Cond != nil {
+			w.calls(s.Cond, held)
+		}
+		branch := copyHeld(*held)
+		w.stmt(s.Body, &branch)
+		w.stmt(s.Post, &branch)
+	case *ast.RangeStmt:
+		w.calls(s.X, held)
+		branch := copyHeld(*held)
+		w.stmt(s.Body, &branch)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, held)
+		if s.Tag != nil {
+			w.calls(s.Tag, held)
+		}
+		w.caseClauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, held)
+		w.caseClauses(s.Body, held)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			branch := copyHeld(*held)
+			w.stmt(cc.Comm, &branch)
+			w.stmts(cc.Body, &branch)
+		}
+	case *ast.DeferStmt:
+		w.deferred[s.Call] = true
+		w.calls(s.Call, held)
+	default:
+		// Leaf statements: expression/assign/return/go/send/decl. Their
+		// calls execute in evaluation order with the current held-set.
+		w.calls(s, held)
+	}
+}
+
+func (w *lockWalker) caseClauses(body *ast.BlockStmt, held *[]heldLock) {
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.calls(e, held)
+		}
+		branch := copyHeld(*held)
+		w.stmts(cc.Body, &branch)
+	}
+}
+
+// calls applies every call expression under n (function literals
+// included) to the held-set: lock ops update it, blocking work under a
+// held lock is reported, callee lock summaries contribute edges.
+func (w *lockWalker) calls(n ast.Node, held *[]heldLock) {
+	if n == nil {
+		return
+	}
+	pass := w.pass
+	info := pass.Info
+	edge := func(to string, pos token.Pos) {
+		for _, h := range *held {
+			pass.Prog.lockEdges = append(pass.Prog.lockEdges, lockEdge{
+				from:     h.class,
+				to:       to,
+				pos:      pos,
+				position: pass.Fset.Position(pos),
+			})
+		}
+	}
+	ast.Inspect(n, func(nn ast.Node) bool {
+		if d, ok := nn.(*ast.DeferStmt); ok {
+			w.deferred[d.Call] = true
+			return true
+		}
+		call, ok := nn.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ops := lockOps(info, call)
+		for _, op := range ops {
+			switch {
+			case op.Acquire:
+				edge(op.Class, call.Pos())
+				*held = append(*held, heldLock{class: op.Class})
+			case w.deferred[call]:
+				// defer mu.Unlock(): the lock stays held for the rest
+				// of the function (or branch).
+				for i := len(*held) - 1; i >= 0; i-- {
+					if (*held)[i].class == op.Class && !(*held)[i].deferred {
+						(*held)[i].deferred = true
+						break
+					}
+				}
+			default:
+				// Release with no matching lexical acquire (the
+				// drop-the-lock-around-IO pattern split across helpers)
+				// pops nothing and stays quiet.
+				for i := len(*held) - 1; i >= 0; i-- {
+					if (*held)[i].class == op.Class && !(*held)[i].deferred {
+						*held = append((*held)[:i], (*held)[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		if len(*held) == 0 {
+			return true
+		}
+		// Blocking device/station work under a lock: direct calls and —
+		// via summaries — anything a module callee reaches.
+		callee := calleeFunc(info, call)
+		if isDirectDeviceCall(info, call) {
+			name := "call"
+			if callee != nil {
+				name = funcDisplayName(callee)
+			}
+			pass.Reportf(call.Pos(),
+				"lock %s held across blocking device/station call %s: one slow op stalls every waiter — release the lock (or snapshot under it) before touching the device",
+				(*held)[len(*held)-1].class, name)
+		} else if callee != nil && pass.Prog.PerformsDeviceCall(callee) {
+			pass.Reportf(call.Pos(),
+				"lock %s held across call to %s, which (transitively) performs blocking device/station work: release the lock before calling down",
+				(*held)[len(*held)-1].class, funcDisplayName(callee))
+		}
+		// Ordering edges contributed by the callee's own locks.
+		if callee != nil && len(ops) == 0 {
+			for _, class := range pass.Prog.AcquiredClasses(callee) {
+				edge(class, call.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// funcDisplayName renders pkg-qualified "server.Backend.Flush" /
+// "event.Run" style names.
+func funcDisplayName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		path := fn.Pkg().Path()
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			path = path[i+1:]
+		}
+		pkg = path + "."
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, name, named := namedTypePath(sig.Recv().Type()); named {
+			return pkg + name + "." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}
+
+// finishLockOrder reports every acquisition-order edge that lies on a
+// cycle of the module-wide graph. Edges are visited in deterministic
+// (position) order, so output is stable across runs.
+func finishLockOrder(prog *Program) []Finding {
+	edges := prog.lockEdges
+	adj := make(map[string]map[string]bool)
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[string]bool)
+		}
+		adj[e.from][e.to] = true
+	}
+	// reaches reports whether to is reachable from from.
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{from: true}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			next := make([]string, 0, len(adj[n]))
+			for m := range adj[n] {
+				next = append(next, m)
+			}
+			sort.Strings(next)
+			for _, m := range next {
+				if m == to {
+					return true
+				}
+				if !seen[m] {
+					seen[m] = true
+					stack = append(stack, m)
+				}
+			}
+		}
+		return false
+	}
+
+	sorted := make([]lockEdge, len(edges))
+	copy(sorted, edges)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i].position, sorted[j].position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+
+	var findings []Finding
+	reported := make(map[string]bool)
+	for _, e := range sorted {
+		key := e.from + "\x00" + e.to + "\x00" + e.position.String()
+		if reported[key] {
+			continue
+		}
+		switch {
+		case e.from == e.to:
+			reported[key] = true
+			findings = append(findings, Finding{
+				Pos:      e.position,
+				Analyzer: "lockorder",
+				Message: "lock class " + e.to + " acquired while already held: sync.Mutex is not reentrant — " +
+					"a same-class nested acquire deadlocks unless a canonical order (lockmap.Acquire2) proves the instances distinct",
+			})
+		case reaches(e.to, e.from):
+			reported[key] = true
+			findings = append(findings, Finding{
+				Pos:      e.position,
+				Analyzer: "lockorder",
+				Message: "lock acquisition order cycle: " + e.to + " acquired while " + e.from +
+					" held, but the module also orders " + e.to + " before " + e.from +
+					" — concurrent goroutines taking the two orders deadlock (ABBA)",
+			})
+		}
+	}
+	return findings
+}
+
+// LockOrderGraph renders the module-wide acquisition-order graph as
+// sorted, de-duplicated "from -> to" lines — the deterministic dump the
+// selfcheck test pins so the lock hierarchy is reviewed like code.
+func (p *Program) LockOrderGraph() []string {
+	seen := make(map[string]bool)
+	var lines []string
+	for _, e := range p.lockEdges {
+		line := e.from + " -> " + e.to
+		if !seen[line] {
+			seen[line] = true
+			lines = append(lines, line)
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}

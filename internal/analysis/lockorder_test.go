@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestLockOrderFixture runs lockorder over its golden fixture, mounted
+// under internal/server/ so the concurrency scope applies and the
+// fixture's ReadBlock method counts as a device call.
+func TestLockOrderFixture(t *testing.T) {
+	runFixture(t, LockOrder, "lockorder", "icash/internal/server/lofix")
+}
+
+// TestLockOrderFixtureGraph pins the acquisition-order graph the
+// fixture induces, including the summary-derived edge from
+// nestedViaCallee (regA held while callLocker acquires regC) — an edge
+// no single-function walk could draw.
+func TestLockOrderFixtureGraph(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Lenient = true
+	pkg, err := l.LoadDir("testdata/src/lockorder", "icash/internal/server/lofix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram(l)
+	RunAnalyzers([]*Analyzer{LockOrder}, pkg, prog)
+	got := prog.LockOrderGraph()
+	want := []string{
+		"lofix.regA.mu -> lofix.regA.mu",
+		"lofix.regA.mu -> lofix.regB.mu",
+		"lofix.regA.mu -> lofix.regC.mu",
+		"lofix.regB.mu -> lofix.regA.mu",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("LockOrderGraph() = %v, want %v", got, want)
+	}
+}
+
+// TestLockOrderOutOfScope proves the discipline does not apply outside
+// the concurrency-bearing packages.
+func TestLockOrderOutOfScope(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Lenient = true
+	pkg, err := l.LoadDir("testdata/src/lockorder", "icash/internal/ssd/lofix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram(l)
+	fs := RunAnalyzers([]*Analyzer{LockOrder}, pkg, prog)
+	fs = append(fs, finishLockOrder(prog)...)
+	if len(fs) != 0 {
+		t.Fatalf("lockorder fired outside its scope: %v", fs)
+	}
+}

@@ -35,9 +35,21 @@ const blockdevPath = "icash/internal/blockdev"
 // passed straight into another call without ever being bound is flagged
 // outright: nothing can Put what nothing names. Known-good exceptions
 // carry a //lint:ignore poolreturn directive with a reason.
+//
+// The check is interprocedural one level deep in both directions, via
+// the Program's summaries:
+//
+//   - allocator wrappers: a module function whose GetBlock-bound buffer
+//     escapes only by being returned is itself a pool source — its
+//     callers inherit the Put obligation, so a wrapper cannot hide a
+//     leak (transitively: a wrapper of a wrapper is still a source);
+//   - sink parameters: passing an acquired buffer to a module function
+//     whose parameter provably reaches blockdev.PutBlock (or is stored
+//     somewhere that outlives the call) discharges the obligation — the
+//     callee took ownership, it did not merely borrow.
 var PoolReturn = &Analyzer{
 	Name: "poolreturn",
-	Doc:  "flag blockdev pool buffers that are neither returned via PutBlock nor handed off (field store / return)",
+	Doc:  "flag blockdev pool buffers that are neither returned via PutBlock nor handed off (field store / return / ownership-taking callee)",
 	Run:  runPoolReturn,
 }
 
@@ -53,55 +65,271 @@ func runPoolReturn(pass *Pass) {
 	}
 }
 
-// checkPoolOwnership audits one function body (nested function literals
-// included — a deferred closure's PutBlock discharges the obligation).
-func checkPoolOwnership(pass *Pass, body *ast.BlockStmt) {
-	info := pass.Info
+// --- interprocedural pool-flow facts (memoized on the Program) ---
 
-	// Pass 1: find every GetBlock call and how its result is bound.
-	acquired := map[types.Object]token.Pos{}
-	ast.Inspect(body, func(n ast.Node) bool {
+// isPoolSourceCall reports whether call acquires a pooled buffer:
+// blockdev.GetBlock itself, or a module allocator wrapper.
+func isPoolSourceCall(pass *Pass, call *ast.CallExpr) bool {
+	if isPkgFunc(pass.Info, call, blockdevPath, "GetBlock") {
+		return true
+	}
+	if pass.Prog == nil {
+		return false
+	}
+	fn := calleeFunc(pass.Info, call)
+	return fn != nil && poolSource(pass.Prog, fn)
+}
+
+// poolSource reports whether fn hands a pooled buffer to its caller:
+// some pool-acquired local escapes fn only by being returned — never
+// Put, never stored anywhere that outlives the call — or the function
+// returns a pool-source call outright (`return blockdev.GetBlock()`).
+// Such a function is GetBlock in a trench coat; its callers inherit the
+// obligation.
+// (core's getScratch is deliberately NOT a source: it parks every
+// buffer in the controller's scratch arena — a field store — before
+// returning it, so the arena owns the Put.)
+func poolSource(prog *Program, fn *types.Func) bool {
+	switch prog.poolMemo[fn] {
+	case 1:
+		return true
+	case 2, 3:
+		return false
+	}
+	s := prog.Summary(fn)
+	if s == nil {
+		return false
+	}
+	prog.poolMemo[fn] = 3
+	flow := poolFlowOf(prog, s)
+	ans := flow.returnsSource
+	for obj := range flow.acquired {
+		if flow.returned[obj] && !flow.put[obj] && !flow.stored[obj] {
+			ans = true
+			break
+		}
+	}
+	if ans {
+		prog.poolMemo[fn] = 1
+	} else {
+		prog.poolMemo[fn] = 2
+	}
+	return ans
+}
+
+// poolSink reports whether fn's i'th parameter takes ownership of a
+// pooled buffer: it reaches blockdev.PutBlock, is stored somewhere that
+// outlives the call, or is forwarded to another sink parameter.
+// Returning the parameter is not a sink — ownership comes back to the
+// caller with it.
+func poolSink(prog *Program, fn *types.Func, i int) bool {
+	if m := prog.sinkMemo[fn]; m != nil {
+		switch m[i] {
+		case 1:
+			return true
+		case 2, 3:
+			return false
+		}
+	} else {
+		prog.sinkMemo[fn] = make(map[int]uint8)
+	}
+	s := prog.Summary(fn)
+	if s == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || i >= sig.Params().Len() {
+		return false
+	}
+	param := sig.Params().At(i)
+	prog.sinkMemo[fn][i] = 3
+	info := s.Pkg.Info
+	ans := false
+	ast.Inspect(s.Decl.Body, func(n ast.Node) bool {
+		if ans {
+			return false
+		}
 		switch n := n.(type) {
-		case *ast.AssignStmt:
-			for i, rhs := range n.Rhs {
-				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
-				if !ok || !isPkgFunc(info, call, blockdevPath, "GetBlock") || i >= len(n.Lhs) {
-					continue
+		case *ast.CallExpr:
+			if isPkgFunc(info, n, blockdevPath, "PutBlock") {
+				for _, arg := range n.Args {
+					if baseIdentObj(info, arg) == param {
+						ans = true
+					}
 				}
-				id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
-				if !ok {
-					// v.dataRAM = GetBlock() and friends: the store
-					// itself is the ownership transfer.
-					continue
-				}
-				if id.Name == "_" {
-					pass.Reportf(call.Pos(),
-						"blockdev.GetBlock() result discarded: the buffer can never be returned to the pool")
-					continue
-				}
-				obj := info.ObjectOf(id)
-				if obj == nil || !declaredWithin(obj, body) {
-					continue // package-level or parameter rebinding: out of scope
-				}
-				if _, seen := acquired[obj]; !seen {
-					acquired[obj] = call.Pos()
+				return true
+			}
+			callee := calleeFunc(info, n)
+			if callee == nil || callee == fn {
+				return true
+			}
+			for j, arg := range n.Args {
+				if baseIdentObj(info, arg) == param && poolSink(prog, callee, j) {
+					ans = true
 				}
 			}
-		case *ast.ExprStmt:
-			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok &&
-				isPkgFunc(info, call, blockdevPath, "GetBlock") {
-				pass.Reportf(call.Pos(),
-					"blockdev.GetBlock() result discarded: the buffer can never be returned to the pool")
+		case *ast.AssignStmt:
+			for k, lhs := range n.Lhs {
+				rhs := n.Rhs[min(k, len(n.Rhs)-1)]
+				if localPlainIdent(info, s.Decl.Body, lhs) {
+					continue
+				}
+				if baseIdentObj(info, rhs) == param {
+					ans = true
+				}
 			}
 		}
 		return true
 	})
-	if len(acquired) == 0 {
-		return
+	if ans {
+		prog.sinkMemo[fn][i] = 1
+	} else {
+		prog.sinkMemo[fn][i] = 2
+	}
+	return ans
+}
+
+// poolFlow is the ownership ledger of one function body: which locals
+// hold pool buffers and how each escapes.
+type poolFlow struct {
+	acquired map[types.Object]token.Pos
+	put      map[types.Object]bool // reached blockdev.PutBlock
+	stored   map[types.Object]bool // stored somewhere outliving the call
+	sunk     map[types.Object]bool // passed to an ownership-taking callee
+	returned map[types.Object]bool
+	// discards are pool-source calls whose result was never bound.
+	discards []poolDiscard
+	// returnsSource marks a `return blockdev.GetBlock()` (or a wrapper
+	// thereof) with no intervening local: the function hands a pooled
+	// buffer straight to its caller, making it a pool source even though
+	// nothing was ever bound.
+	returnsSource bool
+}
+
+// poolFlowOf computes the ledger for a summarized function.
+func poolFlowOf(prog *Program, s *FuncSummary) *poolFlow {
+	pass := &Pass{Fset: s.Pkg.Fset, Info: s.Pkg.Info, Pkg: s.Pkg.Types, Prog: prog}
+	return poolFlowBody(pass, s.Decl.Body)
+}
+
+// checkPoolOwnership audits one function body (nested function literals
+// included — a deferred closure's PutBlock discharges the obligation).
+func checkPoolOwnership(pass *Pass, body *ast.BlockStmt) {
+	flow := poolFlowBody(pass, body)
+	for _, d := range flow.discards {
+		pass.Reportf(d.pos,
+			"%s result discarded: the pooled buffer can never be returned to the pool", d.name)
+	}
+	for obj, pos := range flow.acquired {
+		if flow.put[obj] || flow.stored[obj] || flow.returned[obj] || flow.sunk[obj] {
+			continue
+		}
+		pass.Reportf(pos,
+			"pooled buffer %s is neither returned via blockdev.PutBlock nor handed off (field store, return, or ownership-taking callee): the block leaks from the pool", obj.Name())
+	}
+}
+
+// poolDiscard is a pool-source call whose result was never bound.
+type poolDiscard struct {
+	pos  token.Pos
+	name string
+}
+
+// sourceCallName renders the pool source for diagnostics.
+func sourceCallName(pass *Pass, call *ast.CallExpr) string {
+	if isPkgFunc(pass.Info, call, blockdevPath, "GetBlock") {
+		return "blockdev.GetBlock()"
+	}
+	if fn := calleeFunc(pass.Info, call); fn != nil {
+		return fn.Name() + "() (an allocator wrapper over the pool)"
+	}
+	return "pool source"
+}
+
+// poolFlowBody computes one body's ownership ledger. Pass 1 binds
+// pool-source results to locals; pass 2 records how each escapes.
+func poolFlowBody(pass *Pass, body *ast.BlockStmt) *poolFlow {
+	info := pass.Info
+	flow := &poolFlow{
+		acquired: map[types.Object]token.Pos{},
+		put:      map[types.Object]bool{},
+		stored:   map[types.Object]bool{},
+		sunk:     map[types.Object]bool{},
+		returned: map[types.Object]bool{},
 	}
 
-	// Pass 2: discharge obligations.
-	discharged := map[types.Object]bool{}
+	bind := func(lhs ast.Expr, call *ast.CallExpr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			// v.dataRAM = GetBlock() and friends: the store itself is
+			// the ownership transfer.
+			return
+		}
+		if id.Name == "_" {
+			flow.discards = append(flow.discards, poolDiscard{call.Pos(), sourceCallName(pass, call)})
+			return
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil || !declaredWithin(obj, body) {
+			return // package-level or parameter rebinding: out of scope
+		}
+		if _, seen := flow.acquired[obj]; !seen {
+			flow.acquired[obj] = call.Pos()
+		}
+	}
+
+	// Pass 1: find every pool-source call and how its result is bound.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+				// buf, err := wrapper(): bind the []byte result(s).
+				call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+				if !ok || !isPoolSourceCall(pass, call) {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if isByteSlice(info.TypeOf(lhs)) {
+						bind(lhs, call)
+					}
+				}
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isPoolSourceCall(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				bind(n.Lhs[i], call)
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isPoolSourceCall(pass, call) {
+				flow.discards = append(flow.discards, poolDiscard{call.Pos(), sourceCallName(pass, call)})
+			}
+		}
+		return true
+	})
+	// Unbound pass-through: `return blockdev.GetBlock()` makes the
+	// function a source with nothing acquired. Closures are skipped —
+	// their returns are not this function's returns.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, res := range ret.Results {
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && isPoolSourceCall(pass, call) {
+					flow.returnsSource = true
+				}
+			}
+		}
+		return true
+	})
+	if len(flow.acquired) == 0 {
+		return flow
+	}
+
+	// Pass 2: record how each acquired buffer escapes.
 	refersTo := func(e ast.Expr, obj types.Object) bool {
 		found := false
 		ast.Inspect(e, func(n ast.Node) bool {
@@ -115,12 +343,30 @@ func checkPoolOwnership(pass *Pass, body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if !isPkgFunc(info, n, blockdevPath, "PutBlock") {
+			if isPkgFunc(info, n, blockdevPath, "PutBlock") {
+				for _, arg := range n.Args {
+					if obj := baseIdentObj(info, arg); obj != nil {
+						flow.put[obj] = true
+					}
+				}
 				return true
 			}
-			for _, arg := range n.Args {
-				if obj := baseIdentObj(info, arg); obj != nil {
-					discharged[obj] = true
+			// Passing the buffer to an ownership-taking module callee
+			// discharges; merely lending it does not.
+			if pass.Prog == nil {
+				return true
+			}
+			callee := calleeFunc(info, n)
+			if callee == nil {
+				return true
+			}
+			for j, arg := range n.Args {
+				obj := baseIdentObj(info, arg)
+				if obj == nil {
+					continue
+				}
+				if _, isAcq := flow.acquired[obj]; isAcq && poolSink(pass.Prog, callee, j) {
+					flow.sunk[obj] = true
 				}
 			}
 		case *ast.AssignStmt:
@@ -133,30 +379,34 @@ func checkPoolOwnership(pass *Pass, body *ast.BlockStmt) {
 				if localPlainIdent(info, body, lhs) {
 					continue
 				}
-				for obj := range acquired {
+				for obj := range flow.acquired {
 					if refersTo(rhs, obj) {
-						discharged[obj] = true
+						flow.stored[obj] = true
 					}
 				}
 			}
 		case *ast.ReturnStmt:
 			for _, res := range n.Results {
-				for obj := range acquired {
+				for obj := range flow.acquired {
 					if refersTo(res, obj) {
-						discharged[obj] = true
+						flow.returned[obj] = true
 					}
 				}
 			}
 		}
 		return true
 	})
+	return flow
+}
 
-	for obj, pos := range acquired {
-		if !discharged[obj] {
-			pass.Reportf(pos,
-				"pooled buffer %s is neither returned via blockdev.PutBlock nor handed off (field store or return): the block leaks from the pool", obj.Name())
-		}
+// isByteSlice reports whether t is []byte.
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
 	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
 }
 
 // localPlainIdent reports whether lhs is a bare identifier naming a

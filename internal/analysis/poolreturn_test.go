@@ -7,3 +7,12 @@ import "testing"
 func TestPoolReturnFixture(t *testing.T) {
 	runFixture(t, PoolReturn, "poolreturn", "icash/internal/poolreturnfixture")
 }
+
+// TestPoolReturnInterprocFixture runs poolreturn over the
+// interprocedural fixture: allocator wrappers (including the unbound
+// `return blockdev.GetBlock()` form) are pool sources whose callers
+// inherit the Put obligation, ownership-taking callees discharge it,
+// and lending to a borrower does not.
+func TestPoolReturnInterprocFixture(t *testing.T) {
+	runFixture(t, PoolReturn, "poolreturninterproc", "icash/internal/poolwrapfix")
+}

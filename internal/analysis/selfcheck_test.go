@@ -68,10 +68,66 @@ func TestIgnoreDirectives(t *testing.T) {
 	// Malformed directives are findings in their own right.
 	assertContains("malformed //lint:ignore")
 	assertContains("unknown analyzer nosuch")
+	// The wrong-analyzer directive suppressed nothing, so it is stale.
+	assertContains("suppresses nothing")
 	// Exactly the suppressed violation is absent.
 	for _, g := range got {
 		if strings.Contains(g, "time.Since") {
 			t.Errorf("suppressed finding leaked: %v", g)
+		}
+	}
+}
+
+// TestLockOrderGraphDeterministic dumps the repository's own lock
+// acquisition-order graph and pins it, so the lock hierarchy is
+// reviewed like code: a new edge in this list is a new lock-nesting
+// relationship and must be argued for in the PR that adds it. The
+// expected graph today is a single self-edge — lockmap.Acquire2 nests
+// two acquisitions of the same map under its canonical-address-order
+// contract — and, notably, NO core.* classes: the single-threaded
+// controller holds no locks, which is the clean slate the sharded
+// controller builds on.
+func TestLockOrderGraphDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the concurrency-bearing packages; skipped in -short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.Expand([]string{"./internal/core/...", "./internal/server/...", "./internal/lockmap", "./cmd/icash-serve"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	prog := NewProgram(l)
+	for _, pkg := range pkgs {
+		RunAnalyzers([]*Analyzer{LockOrder}, pkg, prog)
+	}
+	got := prog.LockOrderGraph()
+	want := []string{"lockmap.LockMap -> lockmap.LockMap"}
+	if len(got) != len(want) {
+		t.Fatalf("lock acquisition-order graph changed:\n  got  %v\n  want %v\nnew edges must be argued for in the PR that adds them", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lock acquisition-order graph changed:\n  got  %v\n  want %v", got, want)
+		}
+	}
+	for _, line := range got {
+		if strings.Contains(line, "core.") {
+			t.Errorf("core holds a lock (%s): the pre-sharding controller is contractually lock-free", line)
 		}
 	}
 }

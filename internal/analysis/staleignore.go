@@ -1,0 +1,26 @@
+package analysis
+
+// StaleIgnore keeps the suppression ledger honest: a //lint:ignore
+// directive that no longer suppresses anything is reported, so the
+// escape hatches shrink back as the code they excused improves. Without
+// it, directives outlive their findings — the suppressed line gets
+// rewritten, the directive stays, and a future real finding on that
+// line is silenced by an excuse written for different code.
+//
+// The detection cannot run inside a single package pass: whether a
+// directive is stale depends on the findings of every analyzer over the
+// package, after the full catalog has run. The Run hook is therefore
+// empty; the work happens in the vet pipeline (applyIgnoresTracked in
+// ignore.go), which tracks per-directive usage while applying
+// suppressions and emits one staleignore finding per unused directive.
+//
+// icash-vet prints staleignore findings as warnings by default and
+// fails on them only under -strict (CI's lint job runs strict; an
+// in-flight refactor on a developer machine does not have to). The
+// repo's own tree must stay stale-free: TestRepoIsLintClean counts
+// staleignore findings as failures like any other.
+var StaleIgnore = &Analyzer{
+	Name: "staleignore",
+	Doc:  "flag //lint:ignore directives that no longer suppress any finding (warning; error under -strict)",
+	Run:  func(pass *Pass) {},
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStaleIgnoreFixture runs the FULL catalog over the staleignore
+// fixture via VetPackage — staleness only exists against every
+// analyzer, so the single-analyzer harness cannot host it — and checks
+// the result against the fixture's want markers: the directive
+// suppressing a live detclock finding stays quiet, the one suppressing
+// nothing is itself a finding.
+func TestStaleIgnoreFixture(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Lenient = true
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "staleignore"), "icash/internal/stalefix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := VetPackage(pkg)
+	sortFindings(findings)
+
+	wants := parseWants(t, pkg.Fset, pkg)
+	matched := make([]bool, len(wants))
+	for _, f := range findings {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != filepath.Base(f.Pos.Filename) || w.line != f.Pos.Line {
+				continue
+			}
+			if !strings.Contains(f.Message, w.substr) {
+				t.Errorf("%s: finding %q does not contain wanted substring %q", f, f.Message, w.substr)
+			}
+			matched[i] = true
+			ok = true
+			break
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: wanted finding containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+
+	// The stale finding belongs to the staleignore analyzer (so the CLI
+	// can demote it to a warning outside -strict).
+	found := false
+	for _, f := range findings {
+		if f.Analyzer == "staleignore" {
+			found = true
+			if !strings.Contains(f.Message, "suppresses nothing") {
+				t.Errorf("staleignore message %q lacks the diagnosis", f.Message)
+			}
+		}
+	}
+	if !found {
+		t.Error("no staleignore finding produced for the stale directive")
+	}
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/types"
+	"reflect"
+	"testing"
+)
+
+// loadSummaryFixture mounts the synthetic summary package and builds
+// the module-wide Program over it.
+func loadSummaryFixture(t *testing.T) (*Package, *Program) {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Lenient = true
+	pkg, err := l.LoadDir("testdata/src/summary", "icash/internal/summaryfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, NewProgram(l)
+}
+
+func lookupFunc(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	fn, ok := pkg.Types.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("fixture has no function %s", name)
+	}
+	return fn
+}
+
+// TestSummaryDeviceReachability pins PerformsDeviceCall across a
+// three-deep call chain and DeviceErrorSource's taint propagation.
+func TestSummaryDeviceReachability(t *testing.T) {
+	pkg, prog := loadSummaryFixture(t)
+	for _, name := range []string{"leaf", "mid", "top"} {
+		fn := lookupFunc(t, pkg, name)
+		if !prog.PerformsDeviceCall(fn) {
+			t.Errorf("PerformsDeviceCall(%s) = false, want true", name)
+		}
+		if !prog.DeviceErrorSource(fn) {
+			t.Errorf("DeviceErrorSource(%s) = false, want true", name)
+		}
+	}
+	for _, name := range []string{"pure", "locker", "spawner"} {
+		fn := lookupFunc(t, pkg, name)
+		if prog.PerformsDeviceCall(fn) {
+			t.Errorf("PerformsDeviceCall(%s) = true, want false", name)
+		}
+		if prog.DeviceErrorSource(fn) {
+			t.Errorf("DeviceErrorSource(%s) = true, want false", name)
+		}
+	}
+}
+
+// TestSummaryCycleTermination proves the memoized transitive queries
+// terminate on mutual recursion and resolve to the quiet answer.
+func TestSummaryCycleTermination(t *testing.T) {
+	pkg, prog := loadSummaryFixture(t)
+	for _, name := range []string{"cyclic", "cyclic2"} {
+		fn := lookupFunc(t, pkg, name)
+		if prog.PerformsDeviceCall(fn) {
+			t.Errorf("PerformsDeviceCall(%s) = true, want false", name)
+		}
+		if prog.DeviceErrorSource(fn) {
+			t.Errorf("DeviceErrorSource(%s) = true, want false", name)
+		}
+	}
+}
+
+// TestSummaryFacts pins the per-function fact sheet: lock ops with
+// deferred releases, spawns and selects, call sites, error results.
+func TestSummaryFacts(t *testing.T) {
+	pkg, prog := loadSummaryFixture(t)
+
+	locker := prog.Summary(lookupFunc(t, pkg, "locker"))
+	if locker == nil {
+		t.Fatal("no summary for locker")
+	}
+	if len(locker.Locks) != 2 {
+		t.Fatalf("locker has %d lock ops, want 2: %+v", len(locker.Locks), locker.Locks)
+	}
+	if op := locker.Locks[0]; !op.Acquire || op.Class != "summaryfix.guarded.mu" {
+		t.Errorf("locker.Locks[0] = %+v, want acquire of summaryfix.guarded.mu", op)
+	}
+	if op := locker.Locks[1]; op.Acquire || !op.Deferred {
+		t.Errorf("locker.Locks[1] = %+v, want deferred release", op)
+	}
+	if got := prog.AcquiredClasses(locker.Fn); !reflect.DeepEqual(got, []string{"summaryfix.guarded.mu"}) {
+		t.Errorf("AcquiredClasses(locker) = %v", got)
+	}
+
+	spawner := prog.Summary(lookupFunc(t, pkg, "spawner"))
+	if len(spawner.Spawns) != 1 || len(spawner.Selects) != 1 {
+		t.Errorf("spawner records %d spawns, %d selects; want 1 and 1",
+			len(spawner.Spawns), len(spawner.Selects))
+	}
+
+	top := prog.Summary(lookupFunc(t, pkg, "top"))
+	foundMid := false
+	for _, c := range top.Calls {
+		if c.Fn.Name() == "mid" {
+			foundMid = true
+		}
+	}
+	if !foundMid {
+		t.Errorf("top's call sites %v do not include mid", top.Calls)
+	}
+	if got := prog.AcquiredClasses(top.Fn); len(got) != 0 {
+		t.Errorf("AcquiredClasses(top) = %v, want none", got)
+	}
+
+	if !prog.Summary(lookupFunc(t, pkg, "leaf")).ReturnsError {
+		t.Error("leaf.ReturnsError = false, want true")
+	}
+	if prog.Summary(lookupFunc(t, pkg, "pure")).ReturnsError {
+		t.Error("pure.ReturnsError = true, want false")
+	}
+	if prog.Summary(nil) != nil {
+		t.Error("Summary(nil) != nil")
+	}
+}

@@ -1,0 +1,67 @@
+// Package errclassinterproc exercises errclass's interprocedural mode:
+// mounted outside the device-layer scope, only device-originated errors
+// (direct calls or summarized wrappers over them) may not be blanked or
+// dropped — pure local errors are the caller's business.
+package errclassinterproc
+
+// dev stands in for a device stack: an icash/ module type with a
+// block-op method name is a device call to the analyzer.
+type dev struct{}
+
+func (dev) ReadBlock(lba int64, buf []byte) (int64, error) { return 0, nil }
+
+// devRead wraps the device call one level: its error is device-tainted.
+func devRead(d dev, buf []byte) error {
+	_, err := d.ReadBlock(0, buf)
+	return err
+}
+
+// devReadTwice wraps two levels deep; taint survives the chain.
+func devReadTwice(d dev, buf []byte) error {
+	return devRead(d, buf)
+}
+
+// pure returns an error with no device origin.
+func pure() error { return nil }
+
+func dropsDirect(d dev) {
+	d.ReadBlock(0, nil) // want "drops the error of ReadBlock"
+}
+
+func dropsWrapped(d dev) {
+	devRead(d, nil) // want "via the call chain"
+}
+
+func dropsTwoLevels(d dev) {
+	devReadTwice(d, nil) // want "via the call chain"
+}
+
+func deferWrapped(d dev) {
+	defer devRead(d, nil) // want "defer statement drops"
+}
+
+func blanksWrapped(d dev) {
+	_ = devRead(d, nil) // want "discarded with _"
+}
+
+func blanksPair(d dev) int64 {
+	n, _ := d.ReadBlock(0, nil) // want "discarded with _"
+	return n
+}
+
+func handles(d dev) error {
+	if err := devRead(d, nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Outside the device-layer packages a pure error is droppable: the
+// in-scope strictness deliberately does not apply here.
+func dropsPure() {
+	pure()
+}
+
+func blanksPure() {
+	_ = pure()
+}

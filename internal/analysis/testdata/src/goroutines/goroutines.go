@@ -1,0 +1,33 @@
+// Package goroutines exercises the concurrency-containment analyzer:
+// hand-rolled goroutines and selects are findings anywhere under
+// icash/internal/ outside the approved primitives.
+package goroutines
+
+func work() {}
+
+func spawns() {
+	go work() // want "go statement outside the approved concurrency primitives"
+}
+
+func spawnsClosure() {
+	done := make(chan struct{})
+	go func() { // want "go statement outside the approved concurrency primitives"
+		close(done)
+	}()
+	<-done
+}
+
+func selects(ch chan int) int {
+	select { // want "select in a simulation package"
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// plain channel use without select or go is fine: a blocking receive
+// has exactly one outcome.
+func plainChannel(ch chan int) int {
+	return <-ch
+}

@@ -1,0 +1,25 @@
+// Package goroutinesallow is mounted at icash/internal/harness to pin
+// the allowlist: ForEachPoint may spawn, its neighbors may not.
+package goroutinesallow
+
+// ForEachPoint mimics the blessed fan-out primitive: at this mount path
+// and under this exact name, its goroutines are approved.
+func ForEachPoint(n int, fn func(int) error) error {
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			done <- fn(0)
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// neighbor sits in the same package but is not on the allowlist.
+func neighbor() {
+	go func() {}() // want "go statement outside the approved concurrency primitives"
+}

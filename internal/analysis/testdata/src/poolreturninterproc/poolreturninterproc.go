@@ -1,0 +1,85 @@
+// Package poolreturninterproc exercises poolreturn's interprocedural
+// mode: allocator wrappers are pool sources (their callers inherit the
+// PutBlock obligation), ownership-taking callees are sinks (passing the
+// buffer to them discharges it), and lending to a mere borrower is not
+// a transfer.
+package poolreturninterproc
+
+import "icash/internal/blockdev"
+
+type cache struct{ buf []byte }
+
+// alloc is GetBlock in a trench coat: the buffer escapes only by being
+// returned, so alloc's callers inherit the Put obligation.
+func alloc() []byte {
+	b := blockdev.GetBlock()
+	return b
+}
+
+// allocDirect returns the pool call without ever binding it — still a
+// source.
+func allocDirect() []byte {
+	return blockdev.GetBlock()
+}
+
+// release takes ownership: its parameter reaches blockdev.PutBlock.
+func release(b []byte) {
+	blockdev.PutBlock(b)
+}
+
+// releaseVia forwards its parameter to another sink — still a sink.
+func releaseVia(b []byte) {
+	release(b)
+}
+
+// keep takes ownership by parking the parameter in a field.
+func (c *cache) keep(b []byte) {
+	c.buf = b
+}
+
+// fill merely borrows its parameter: the caller still owns the buffer.
+func fill(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func okSunk() {
+	b := alloc()
+	release(b)
+}
+
+func okSunkDeep() {
+	b := allocDirect()
+	releaseVia(b)
+}
+
+func okStoredViaParam(c *cache) {
+	b := alloc()
+	c.keep(b)
+}
+
+func okReturned() []byte {
+	b := alloc()
+	return b
+}
+
+func okPut() {
+	b := alloc()
+	defer blockdev.PutBlock(b)
+	fill(b)
+}
+
+func leakLent() {
+	b := alloc() // want "leaks from the pool"
+	fill(b)
+}
+
+func leakWrapped() {
+	b := allocDirect() // want "leaks from the pool"
+	_ = b
+}
+
+func discardWrapped() {
+	alloc() // want "allocator wrapper"
+}

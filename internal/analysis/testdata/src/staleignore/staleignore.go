@@ -1,0 +1,22 @@
+// Package staleignore exercises stale-suppression detection: a
+// directive that suppresses a live finding is kept quiet, one that
+// suppresses nothing is itself a finding. Runs under the full catalog
+// (VetPackage), since staleness only exists against all analyzers.
+package staleignore
+
+import "time"
+
+func live() {
+	//lint:ignore detclock fixture exercises a live suppression
+	time.Sleep(time.Millisecond)
+}
+
+func stale() {
+	//lint:ignore detclock nothing on the next line violates anything // want "suppresses nothing"
+	_ = 1 + 1
+}
+
+func multiName() {
+	//lint:ignore detclock,maporder the detclock half is live, so the directive is used
+	time.Sleep(time.Millisecond)
+}

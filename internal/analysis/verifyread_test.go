@@ -26,7 +26,7 @@ func TestVerifyReadOutOfScope(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fs := RunAnalyzers([]*Analyzer{VerifyRead}, pkg); len(fs) != 0 {
+	if fs := RunAnalyzers([]*Analyzer{VerifyRead}, pkg, newProgram()); len(fs) != 0 {
 		t.Fatalf("verifyread fired outside the controller: %v", fs)
 	}
 }
