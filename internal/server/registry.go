@@ -100,11 +100,18 @@ func (r *Registry) sortedIDs() []uint64 {
 // accounting of everything still live is captured, and the backend is
 // flushed so every write any session acknowledged is durable before the
 // listener reports the service stopped.
+//
+// The flush runs outside r.mu: it is a blocking device call (the
+// lockorder analyzer's held-across-device rule), and holding the
+// registry lock across it would wedge every connection teardown —
+// Remove blocks on r.mu — behind the slowest device in the array. The
+// draining flag is already set when the lock drops, so the snapshot
+// stays exact: no session can register between capture and flush.
 func (r *Registry) Drain(backend Backend) (SessionStats, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.draining = true
 	total := r.sumLocked()
+	r.mu.Unlock()
 	if err := backend.Flush(); err != nil {
 		return total, fmt.Errorf("server: drain flush: %w", err)
 	}
