@@ -113,6 +113,7 @@ func (lm *LockMap) Acquire2(a, b uint64) {
 		a, b = b, a
 	}
 	lm.Acquire(a)
+	//lint:ignore lockorder same-class nesting is safe here: the addresses are distinct and acquired in canonical ascending order, so concurrent pairs cannot form an ABBA cycle
 	lm.Acquire(b)
 }
 
