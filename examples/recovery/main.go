@@ -89,7 +89,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rec2.Read(0, buf)
+	if _, err := rec2.Read(0, buf); err != nil {
+		log.Fatalf("read after second crash: %v", err)
+	}
 	if bytes.Equal(buf, content(0, 9)) {
 		fmt.Println("note: the unflushed write happened to be durable (small delta flushed by cadence)")
 	} else {
