@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: help check build vet lint fmt-check test race bench bench-smoke bench-profile alloc-gate fuzz-smoke clockcheck chaos chaos-smoke crash-sweep serve-smoke scrub-smoke examples
+.PHONY: help check build vet lint vet-json fmt-check test race bench bench-smoke bench-profile alloc-gate fuzz-smoke clockcheck chaos chaos-smoke crash-sweep serve-smoke scrub-smoke examples
 
 help: ## list targets (static analysis lives in lint = icash-vet)
 	@awk -F':.*## ' '/^[a-z-]+:.*## /{printf "%-12s %s\n", $$1, $$2}' Makefile
@@ -13,8 +13,11 @@ build: ## go build ./...
 vet: ## stdlib go vet
 	$(GO) vet ./...
 
-lint: ## icash-vet: repo-specific analyzers (detclock, maporder, errclass, latcharge, poolreturn, verifyread)
-	$(GO) run ./cmd/icash-vet ./...
+lint: ## icash-vet: the 9 repo-specific analyzers, strict (stale suppressions fail), baselined
+	$(GO) run ./cmd/icash-vet -strict -baseline vet.baseline ./...
+
+vet-json: ## icash-vet findings as an icash-vet/1 JSON document (machine-readable)
+	$(GO) run ./cmd/icash-vet -json -strict -baseline vet.baseline ./...
 
 fmt-check: ## fail on gofmt drift
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
