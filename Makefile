@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: help check build vet lint vet-json fmt-check test race bench bench-smoke bench-profile alloc-gate fuzz-smoke clockcheck chaos chaos-smoke crash-sweep serve-smoke scrub-smoke examples
+.PHONY: help check build vet lint vet-json fmt-check test race bench bench-smoke bench-profile alloc-gate fuzz-smoke clockcheck chaos chaos-smoke crash-sweep serve-smoke scrub-smoke shard-smoke examples
 
 help: ## list targets (static analysis lives in lint = icash-vet)
 	@awk -F':.*## ' '/^[a-z-]+:.*## /{printf "%-12s %s\n", $$1, $$2}' Makefile
 
-check: fmt-check vet lint build race clockcheck bench-smoke alloc-gate crash-sweep serve-smoke scrub-smoke ## everything CI's check job runs
+check: fmt-check vet lint build race clockcheck bench-smoke alloc-gate crash-sweep serve-smoke scrub-smoke shard-smoke ## everything CI's check job runs
 
 build: ## go build ./...
 	$(GO) build ./...
@@ -67,6 +67,11 @@ scrub-smoke: ## seeded silent-corruption battery under -race: checksums, scrubbe
 
 chaos-smoke: ## fixed-seed chaos battery under the race detector
 	$(GO) test -race -count=1 -run 'TestChaos|TestDetector|TestSchedule' ./internal/fault/...
+
+shard-smoke: ## sharded-controller battery under -race: routing, scoreboard equality across worker counts, shard-scoped chaos, scaling sweep
+	$(GO) test -race -count=1 -run 'TestShard|TestRunBenchmarkSharded|TestBuildSharded|TestStatsAccumulate' ./internal/core/ ./internal/harness/
+	$(GO) test -race -count=1 -run 'TestShardRouter|TestChaosShard' ./internal/server/ ./internal/fault/chaos/
+	$(GO) run ./cmd/icash-bench -shardsweep -ops 4000
 
 examples:
 	$(GO) run ./examples/quickstart

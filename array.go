@@ -147,25 +147,14 @@ func (a *ElementArray) Crash() (*ElementArray, error) {
 	return out, nil
 }
 
-// Stats aggregates controller statistics across elements.
+// Stats aggregates controller statistics across elements. Accumulate
+// walks every counter field, so metrics added to core.Stats aggregate
+// here without a hand-maintained sum.
 func (a *ElementArray) Stats() core.Stats {
 	var total core.Stats
 	for _, el := range a.elements {
 		s := el.Stats()
-		total.Stats.Add(s.Stats)
-		total.WriteDelta += s.WriteDelta
-		total.WriteThroughSSD += s.WriteThroughSSD
-		total.WriteIndependent += s.WriteIndependent
-		total.DeltaBytesStored += s.DeltaBytesStored
-		total.DeltaCount += s.DeltaCount
-		total.RefsSelected += s.RefsSelected
-		total.AssocFormed += s.AssocFormed
-		total.Scans += s.Scans
-		total.LogBlocksWritten += s.LogBlocksWritten
-		total.ReadRAMHits += s.ReadRAMHits
-		total.ReadSSDHits += s.ReadSSDHits
-		total.ReadLogLoads += s.ReadLogLoads
-		total.ReadHDDMisses += s.ReadHDDMisses
+		total.Accumulate(&s)
 	}
 	return total
 }
@@ -177,13 +166,7 @@ func (a *ElementArray) SSDStats() ssd.Stats {
 	var total ssd.Stats
 	for _, el := range a.elements {
 		s := el.SSDStats()
-		total.Stats.Add(s.Stats)
-		total.HostWrites += s.HostWrites
-		total.PagesProgrammed += s.PagesProgrammed
-		total.PagesRelocated += s.PagesRelocated
-		total.Erases += s.Erases
-		total.GCRuns += s.GCRuns
-		total.GCTime += s.GCTime
+		total.Accumulate(&s)
 	}
 	return total
 }

@@ -269,6 +269,10 @@ func realMain() int {
 		wsweep  = flag.Bool("wsweep", false, "print the I-CASH random-write queue-depth scaling table (group-commit batching) and exit")
 		serve   = flag.Bool("serve", false, "print the served-vs-inproc window scaling table (block-service front-end) and exit")
 
+		shards     = flag.Int("shards", 1, "partition I-CASH into this many LBA-range shards, each its own SSD+HDD pair (1 = classic single controller)")
+		shardsweep = flag.Bool("shardsweep", false, "print the I-CASH shard-count scaling table (random read + write at QD>=8) and exit")
+		sweepOps   = flag.Int("ops", 0, "sweeps: cap measured operations per point (0 = sweep default)")
+
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"experiment points to run concurrently (1 = historical serial scheduling; output is identical either way)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -283,6 +287,7 @@ func realMain() int {
 	)
 	flag.Parse()
 	harness.SetParallelism(*parallel)
+	harness.SetShards(*shards)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -340,12 +345,15 @@ func realMain() int {
 		return 0
 	}
 
-	if *qdsweep || *wsweep || *serve {
-		opts := workload.Options{Seed: *seed}
+	if *qdsweep || *wsweep || *serve || *shardsweep {
+		opts := workload.Options{Seed: *seed, MaxOps: *sweepOps}
 		scaleSet := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "scale" {
 				scaleSet = true
+			}
+			if f.Name == "qd" {
+				opts.QueueDepth = *qd
 			}
 		})
 		if scaleSet {
@@ -357,6 +365,9 @@ func realMain() int {
 		}
 		if *serve {
 			sweep = server.ServeSweep
+		}
+		if *shardsweep {
+			sweep = harness.ShardSweep
 		}
 		report, err := sweep(nil, opts)
 		fmt.Print(report)

@@ -41,8 +41,10 @@ func realMain() int {
 		vms    = flag.Bool("vms", false, "serve multi-VM profiles as one session per VM partition")
 		ops    = flag.Int("ops", 0, "cap generated requests (0 = profile default)")
 		listen = flag.String("listen", "", "serve the framed protocol on a real TCP address instead of simulating clients")
+		shards = flag.Int("shards", 1, "partition the array into N LBA-range shards; sessions on different shards serve in parallel")
 	)
 	flag.Parse()
+	harness.SetShards(*shards)
 
 	p, ok := workload.ByName(*bench)
 	if !ok {
@@ -102,7 +104,22 @@ func serveListen(addr string, p workload.Profile, opts workload.Options, window 
 	if err := harness.Populate(sys, gen); err != nil {
 		return err
 	}
-	backend := server.NewLockedBackend(sysBackend{sys: sys})
+	// Per-shard backends under the router: sessions whose partitions
+	// land on different shards serve concurrently, each shard still
+	// single-threaded behind its lockmap address. An unsharded build is
+	// the degenerate one-shard case — one address, the old funnel.
+	var routed []server.Backend
+	if sc := sys.Sharded; sc != nil {
+		for i := 0; i < sc.NumShards(); i++ {
+			routed = append(routed, sc.Shard(i))
+		}
+	} else {
+		routed = []server.Backend{sysBackend{sys: sys}}
+	}
+	backend, err := server.NewShardRouter(routed)
+	if err != nil {
+		return err
+	}
 	registry := server.NewRegistry()
 	imageBlocks := gen.ImageBlocks()
 	vms := p.VMs

@@ -8,11 +8,10 @@ import (
 	"strings"
 )
 
-// LockOrder proves the locking discipline the sharded controller
-// (ROADMAP item 1) will lean on, before the sharding lands: every lock
-// acquisition in the concurrency-bearing packages respects one global
-// acquisition order, and no lock is held across a blocking device or
-// station call.
+// LockOrder proves the locking discipline the sharded controller leans
+// on: every lock acquisition in the concurrency-bearing packages
+// respects one global acquisition order, and no lock is held across a
+// blocking device or station call.
 //
 // The analyzer walks each function with a lexical held-set (Lock pushes
 // a class, Unlock pops it, a deferred Unlock holds to the end of the
@@ -27,11 +26,12 @@ import (
 //     self-edge is a recursive acquisition that deadlocks on its own
 //     (sync.Mutex is not reentrant);
 //   - flags any (transitively) blocking device or station call made
-//     while a lock is held: under the pre-sharding single-funnel
-//     design that turns one slow device op into a stall of every
-//     session, and under the sharded design it is how a per-shard lock
-//     ends up serializing the array. The one deliberate funnel,
-//     server.LockedBackend, carries //lint:ignore directives saying so.
+//     while a lock is held: that is how a lock ends up serializing the
+//     array behind its slowest device op. The one deliberate case,
+//     server.ShardRouter — whose per-shard lockmap address IS the
+//     exclusion token that keeps each single-threaded shard controller
+//     single-threaded — carries //lint:ignore directives saying so;
+//     only the owning shard waits, the others keep serving.
 //
 // Lock classes are static "slots", not runtime instances:
 // "server.Registry.mu" is one class however many registries exist, and

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"reflect"
+
 	"icash/internal/blockdev"
 	"icash/internal/sim"
 )
@@ -112,6 +114,35 @@ type Stats struct {
 	ScrubPasses         int64 // completed full sweeps of slots + tracked home blocks
 	ScrubSlotChecks     int64 // SSD reference slots verified by the scrubber
 	ScrubHomeChecks     int64 // HDD home blocks verified by the scrubber
+}
+
+// Accumulate adds every counter of o into s, field by field. The walk
+// is reflective so a counter added to Stats (or to an embedded struct
+// or histogram array) is aggregated without touching any call site —
+// the sharded controller and the element array both sum per-instance
+// stats through here. Only integer counters (int64, sim.Duration),
+// arrays of them, and nested structs of the same are legal; any other
+// field kind panics, which the aggregation tests turn into a compile-
+// time-like guard for new fields.
+func (s *Stats) Accumulate(o *Stats) {
+	accumulate(reflect.ValueOf(s).Elem(), reflect.ValueOf(o).Elem())
+}
+
+func accumulate(dst, src reflect.Value) {
+	switch dst.Kind() {
+	case reflect.Int64:
+		dst.SetInt(dst.Int() + src.Int())
+	case reflect.Array:
+		for i := 0; i < dst.Len(); i++ {
+			accumulate(dst.Index(i), src.Index(i))
+		}
+	case reflect.Struct:
+		for i := 0; i < dst.NumField(); i++ {
+			accumulate(dst.Field(i), src.Field(i))
+		}
+	default:
+		panic("core: Stats.Accumulate: unsupported field kind " + dst.Kind().String())
+	}
 }
 
 // KindCounts is a snapshot of the virtual-block population by kind,

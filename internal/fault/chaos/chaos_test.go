@@ -3,6 +3,7 @@ package chaos
 import (
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 
 	"icash/internal/fault"
@@ -311,5 +312,76 @@ func TestChaosScrubCleanRun(t *testing.T) {
 	if on.Stats.CorruptionsDetected != 0 || on.Stats.UnrepairableBlocks != 0 {
 		t.Fatalf("scrubber invented corruption on a clean array: det=%d unrep=%d",
 			on.Stats.CorruptionsDetected, on.Stats.UnrepairableBlocks)
+	}
+}
+
+// TestChaosShardFaults soaks the sharded build with every fault —
+// fail-slow windows, fail-stop rates, silent corruption — landing on
+// shard 0 only. The soak must survive with loss accounted (Run errors
+// otherwise, checking every shard's invariants), and the blast radius
+// must stop at the shard boundary: stations outside the "s0."
+// namespace may record zero slow inflation.
+func TestChaosShardFaults(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		res, err := Run(Config{Seed: seed, Shards: 4, SilentFaults: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Ops != 2000 {
+			t.Fatalf("seed %d: ran %d ops, want 2000", seed, res.Ops)
+		}
+		var s0Stations, others int
+		for _, st := range res.Stations {
+			if strings.HasPrefix(st.Name, "s0.") {
+				s0Stations++
+				continue
+			}
+			others++
+			if st.SlowOps != 0 || st.SlowTime != 0 {
+				t.Errorf("seed %d: fault leaked off shard 0: station %s slowOps=%d slowTime=%v",
+					seed, st.Name, st.SlowOps, st.SlowTime)
+			}
+		}
+		if s0Stations == 0 || others == 0 {
+			t.Fatalf("seed %d: station namespaces missing: s0=%d others=%d", seed, s0Stations, others)
+		}
+		t.Logf("%s", res)
+	}
+}
+
+// TestChaosShardDeterminism reruns a sharded soak across GOMAXPROCS
+// settings and requires byte-identical Results: the per-shard fan and
+// the shard-scoped fault schedule must stay a simulation.
+func TestChaosShardDeterminism(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var base *Result
+	for _, procs := range []int{1, runtime.NumCPU()} {
+		runtime.GOMAXPROCS(procs)
+		res, err := Run(Config{Seed: 5, Ops: 800, Shards: 4, SilentFaults: true})
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		if base == nil {
+			base = res
+		} else if !reflect.DeepEqual(base, res) {
+			t.Fatalf("GOMAXPROCS=%d: sharded result differs:\n got %+v\nwant %+v", procs, res, base)
+		}
+	}
+}
+
+// TestChaosShardPureFailSlow: a shard-scoped pure slowdown must hurt
+// nothing — no op errors, no wrong reads — and must actually engage
+// (slow inflation observed somewhere under s0.).
+func TestChaosShardPureFailSlow(t *testing.T) {
+	for seed := uint64(100); seed < 105; seed++ {
+		res, err := Run(Config{Seed: seed, Shards: 2, NoFailStop: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.WrongReads != 0 || res.OpErrors != 0 {
+			t.Fatalf("seed %d: wrong=%d errs=%d under pure shard-scoped fail-slow",
+				seed, res.WrongReads, res.OpErrors)
+		}
 	}
 }

@@ -403,6 +403,9 @@ func RunExperiments(ids []string, opts workload.Options) (string, error) {
 			if points[gi].icash != nil {
 				br.SysICASH = points[gi].icash
 			}
+			if points[gi].sharded != nil {
+				br.SysSharded = points[gi].sharded
+			}
 		}
 		for _, e := range ExperimentsForBenchmark(p.Name) {
 			if !all && !want[e.ID] {

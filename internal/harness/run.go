@@ -88,6 +88,9 @@ type Result struct {
 // data, I-CASH has selected references, and caches hold their steady
 // working sets. Populate time and device activity are not measured.
 func Populate(sys *System, gen *workload.Generator) error {
+	if sys.Sharded != nil && sys.Sharded.NumShards() > 1 {
+		return populateSharded(sys, gen)
+	}
 	buf := blockdev.GetBlock()
 	defer blockdev.PutBlock(buf)
 	n := gen.DataBlocks()
@@ -104,6 +107,56 @@ func Populate(sys *System, gen *workload.Generator) error {
 	if err := sys.Flush(); err != nil {
 		return err
 	}
+	sys.ResetStats()
+	return nil
+}
+
+// populateSharded loads the data set one shard at a time, fanned across
+// ForEachPoint workers — the shard-worker count is Parallelism(), and
+// the result is byte-identical at every worker count:
+//
+//   - shards share no mutable state (own devices, own controller, own
+//     CPU accountant), so each worker's writes are a closed system;
+//   - the clock is never advanced inside the fan (nothing in the write
+//     path reads it, and the scrubber — the controller's only clock
+//     reader — cannot fire at a frozen instant); the serial populate's
+//     total advance (10 µs per block) is applied once after the join;
+//   - each worker uses a fresh generator clone: Fill is deterministic
+//     per (profile, options, lba) but memoizes family bases, so clones
+//     keep the oracle race-free, and each shard's devices get the
+//     clone's fill through the shard-local translation.
+func populateSharded(sys *System, gen *workload.Generator) error {
+	sc := sys.Sharded
+	per := sc.ShardBlocks()
+	n := gen.DataBlocks()
+	if n > sc.Blocks() {
+		n = sc.Blocks()
+	}
+	p, opts := gen.Profile(), gen.Options()
+	err := ForEachPoint(sc.NumShards(), func(i int) error {
+		g := workload.NewGenerator(p, opts)
+		sys.SetShardFill(i, g.Fill)
+		lo, hi := int64(i)*per, int64(i+1)*per
+		if hi > n {
+			hi = n
+		}
+		buf := blockdev.GetBlock()
+		defer blockdev.PutBlock(buf)
+		for lba := lo; lba < hi; lba++ {
+			g.Fill(lba, buf)
+			if _, err := sc.Shard(i).WriteBlock(lba-lo, buf); err != nil {
+				return fmt.Errorf("harness: %s populate shard %d lba %d: %w", sys.Name(), i, lba, err)
+			}
+		}
+		if err := sc.Shard(i).Flush(); err != nil {
+			return fmt.Errorf("harness: %s populate shard %d flush: %w", sys.Name(), i, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sys.Clock.Advance(sim.Duration(n) * 10 * sim.Microsecond)
 	sys.ResetStats()
 	return nil
 }
@@ -235,7 +288,7 @@ func finalize(sys *System, res *Result, p workload.Profile, start sim.Time) {
 	// I-CASH adding a few percent at most).
 	storageShare := 0.0
 	if res.Elapsed > 0 {
-		storageShare = float64(sys.CPU.StorageTime) / float64(res.Elapsed)
+		storageShare = float64(sys.StorageCPUTime()) / float64(res.Elapsed)
 	}
 	res.CPUUtil = p.BaseCPUUtil + storageShare
 	if res.CPUUtil > 0.99 {
@@ -244,9 +297,9 @@ func finalize(sys *System, res *Result, p workload.Profile, start sim.Time) {
 
 	// Device-level accounting.
 	var usage power.Usage
-	usage.CPUBusy = sys.CPU.Busy()
-	if sys.SSD != nil {
-		st := sys.SSD.Stats
+	usage.CPUBusy = sys.CPUBusy()
+	if ssdStats := sys.ssdStats(); ssdStats != nil {
+		st := *ssdStats
 		res.SSDHostWrites = st.HostWrites
 		res.SSDErases = st.Erases
 		res.SSDWriteAmp = st.WriteAmplification()
@@ -266,6 +319,11 @@ func finalize(sys *System, res *Result, p workload.Profile, start sim.Time) {
 		res.ICASHStats = &st
 		res.KindCounts = sys.ICASH.KindCounts()
 		res.Degraded = sys.ICASH.Degraded()
+	} else if sys.Sharded != nil {
+		st := sys.Sharded.Stats()
+		res.ICASHStats = &st
+		res.KindCounts = sys.Sharded.KindCounts()
+		res.Degraded = sys.Sharded.Degraded()
 	}
 	if sys.SSDFault != nil {
 		st := sys.SSDFault.Stats
@@ -283,8 +341,13 @@ type BenchmarkRun struct {
 	Opts    workload.Options
 	Order   []Kind
 	Results map[Kind]*Result
-	// SysICASH keeps the I-CASH controller handle for inspection tools.
+	// SysICASH keeps the I-CASH controller handle for inspection tools
+	// (nil on sharded runs; SysSharded carries the composed handle then).
 	SysICASH *core.Controller
+	// SysSharded is the composed sharded controller when the run built
+	// with Shards > 1; inspection tools break out per-shard state from
+	// it.
+	SysSharded *core.ShardedController
 }
 
 // benchConfig derives the scaled build configuration for profile p.
@@ -310,6 +373,7 @@ func benchConfig(p workload.Profile, opts workload.Options) BuildConfig {
 		cfg.VMImageBlocks = gen.ImageBlocks()
 	}
 	cfg.Tune = opts.TuneICASH
+	cfg.Shards = Shards()
 	return cfg
 }
 
@@ -323,8 +387,9 @@ func ConfigForProfile(p workload.Profile, opts workload.Options) BuildConfig {
 
 // pointResult is the output of one independent experiment point.
 type pointResult struct {
-	res   *Result
-	icash *core.Controller
+	res     *Result
+	icash   *core.Controller
+	sharded *core.ShardedController
 }
 
 // runPoint executes one (profile, system) point in full isolation: a
@@ -346,7 +411,7 @@ func runPoint(p workload.Profile, opts workload.Options, cfg BuildConfig, k Kind
 	if err != nil {
 		return pointResult{}, fmt.Errorf("harness: %s on %s: %w", p.Name, k, err)
 	}
-	return pointResult{res: res, icash: sys.ICASH}, nil
+	return pointResult{res: res, icash: sys.ICASH, sharded: sys.Sharded}, nil
 }
 
 // RunBenchmark executes profile p on each requested system (all five
@@ -376,6 +441,9 @@ func RunBenchmark(p workload.Profile, opts workload.Options, systems []Kind) (*B
 		br.Results[k] = points[i].res
 		if points[i].icash != nil {
 			br.SysICASH = points[i].icash
+		}
+		if points[i].sharded != nil {
+			br.SysSharded = points[i].sharded
 		}
 	}
 	return br, nil

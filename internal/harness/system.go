@@ -70,6 +70,18 @@ type BuildConfig struct {
 	VMImageBlocks int64
 	// RAIDDisks is the stripe width (the paper uses 4).
 	RAIDDisks int
+	// Shards partitions the I-CASH controller into that many
+	// independent LBA-range shards, each a full controller over its own
+	// SSD+HDD pair, composed under the one clock (<= 1 builds the
+	// classic single instance; ignored for the baseline systems). When
+	// VMImageBlocks is set the per-shard size is aligned up to it, so a
+	// VM image never straddles shards.
+	Shards int
+	// FaultShard selects which shard the FaultSSD/FaultHDD injectors
+	// attach to when Shards > 1 (default shard 0). Faults are a
+	// per-device phenomenon, and pinning them to one shard is what the
+	// blast-radius experiments measure: the other shards keep serving.
+	FaultShard int
 	// Tune overrides I-CASH controller parameters after the harness
 	// defaults are applied (ablation studies).
 	Tune func(*core.Config)
@@ -121,6 +133,20 @@ type System struct {
 	Pure  *baseline.PureSSD
 	RAID  *raid.Array0
 
+	// Sharded is the composed controller when the build asked for
+	// Shards > 1; ICASH is nil then, and shard i's SSD and HDD are
+	// SSDs[i] and HDDs[i]. ShardCPUs holds one storage accountant per
+	// shard — per-shard so the parallel populate fan never shares a
+	// mutable accountant across workers; the aggregate views below sum
+	// them with the system accountant.
+	Sharded   *core.ShardedController
+	SSDs      []*ssd.Device
+	ShardCPUs []*cpumodel.Accountant
+	// shardSSDNames caches the per-shard SSD station prefixes
+	// ("s0.ssd", ...) so the per-request detector poll allocates
+	// nothing.
+	shardSSDNames []string
+
 	// SSDFault and HDDFault are the fault injectors when the build
 	// requested them; nil otherwise.
 	SSDFault *fault.Device
@@ -158,11 +184,17 @@ func (s *System) ResetStats() {
 	if s.SSD != nil {
 		s.SSD.ResetStats()
 	}
+	for _, d := range s.SSDs {
+		d.ResetStats()
+	}
 	for _, h := range s.HDDs {
 		h.ResetStats()
 	}
 	if s.ICASH != nil {
 		s.ICASH.ResetStats()
+	}
+	if s.Sharded != nil {
+		s.Sharded.ResetStats()
 	}
 	if s.LRUc != nil {
 		s.LRUc.ResetStats()
@@ -186,6 +218,48 @@ func (s *System) ResetStats() {
 		st.ResetStats()
 	}
 	s.CPU.Reset()
+	for _, c := range s.ShardCPUs {
+		c.Reset()
+	}
+}
+
+// ssdStats returns the device-level SSD accounting: the single SSD's
+// stats on a classic stack, the sum across per-shard SSDs on a sharded
+// one, nil when the stack has no SSD (RAID0).
+func (s *System) ssdStats() *ssd.Stats {
+	if s.SSD != nil {
+		st := s.SSD.Stats
+		return &st
+	}
+	if len(s.SSDs) == 0 {
+		return nil
+	}
+	var total ssd.Stats
+	for _, d := range s.SSDs {
+		st := d.Stats
+		total.Accumulate(&st)
+	}
+	return &total
+}
+
+// StorageCPUTime is the storage-stack CPU time across the system
+// accountant and every per-shard accountant.
+func (s *System) StorageCPUTime() sim.Duration {
+	t := s.CPU.StorageTime
+	for _, c := range s.ShardCPUs {
+		t += c.StorageTime
+	}
+	return t
+}
+
+// CPUBusy is total CPU busy time (application + storage) across the
+// system accountant and every per-shard accountant.
+func (s *System) CPUBusy() sim.Duration {
+	b := s.CPU.Busy()
+	for _, c := range s.ShardCPUs {
+		b += c.Busy()
+	}
+	return b
 }
 
 // instrument builds one service station per independently serving unit
@@ -223,29 +297,57 @@ func (s *System) instrument(cfg BuildConfig) {
 	if hddThreshold <= 0 {
 		hddThreshold = 100 * sim.Millisecond
 	}
-	if s.SSD != nil {
-		n := s.SSD.Config().Channels
+	addSSD := func(dev *ssd.Device, prefix string) {
+		n := dev.Config().Channels
 		chans := make([]*event.Server, n)
 		for i := range chans {
-			chans[i] = event.NewServer(fmt.Sprintf("ssd.ch%d", i), event.DefaultQueueCap)
+			chans[i] = event.NewServer(fmt.Sprintf("%sssd.ch%d", prefix, i), event.DefaultQueueCap)
 			chans[i].SetShaper(ssdPlan.Shaper(chans[i].Name()))
 			watch(chans[i], ssdThreshold)
 			s.Stations = append(s.Stations, chans[i])
 		}
-		s.SSD.Instrument(s.Tracer, chans)
+		dev.Instrument(s.Tracer, chans)
 	}
-	for i, h := range s.HDDs {
-		srv := event.NewServer(fmt.Sprintf("hdd%d", i), event.DefaultQueueCap)
+	addHDD := func(h *hdd.Device, name string) {
+		srv := event.NewServer(name, event.DefaultQueueCap)
 		srv.SetShaper(hddPlan.Shaper(srv.Name()))
 		watch(srv, hddThreshold)
 		s.Stations = append(s.Stations, srv)
 		h.Instrument(s.Tracer, srv)
 	}
+	if s.Sharded != nil {
+		// Sharded stack: shard i's stations live under the "s<i>."
+		// prefix, so a fault window or detector verdict scoped to
+		// "s0.ssd" touches exactly one shard's channels (the schedule
+		// and detector both match dotted prefixes).
+		for i, dev := range s.SSDs {
+			s.shardSSDNames = append(s.shardSSDNames, fmt.Sprintf("s%d.ssd", i))
+			addSSD(dev, fmt.Sprintf("s%d.", i))
+		}
+		for i, h := range s.HDDs {
+			addHDD(h, fmt.Sprintf("s%d.hdd0", i))
+		}
+		return
+	}
+	if s.SSD != nil {
+		addSSD(s.SSD, "")
+	}
+	for i, h := range s.HDDs {
+		addHDD(h, fmt.Sprintf("hdd%d", i))
+	}
 }
 
 // SetFill installs the workload's initial-content oracle on every
-// device in the stack.
+// device in the stack. On a sharded stack each shard's devices see
+// shard-local LBAs, so the oracle is installed through the routing
+// translation (global = shard base + local).
 func (s *System) SetFill(f blockdev.FillFunc) {
+	if s.Sharded != nil {
+		for i := range s.SSDs {
+			s.SetShardFill(i, f)
+		}
+		return
+	}
 	if s.SSD != nil {
 		s.SSD.SetFill(f)
 	}
@@ -255,6 +357,17 @@ func (s *System) SetFill(f blockdev.FillFunc) {
 	if s.RAID != nil {
 		s.RAID.SetFill(f)
 	}
+}
+
+// SetShardFill installs f — an oracle over *global* LBAs — on shard
+// i's devices, translated to the shard's local address space. The
+// sharded populate fan uses it with one generator clone per shard, so
+// no two workers ever share the (non-thread-safe) oracle.
+func (s *System) SetShardFill(i int, f blockdev.FillFunc) {
+	base := int64(i) * s.Sharded.ShardBlocks()
+	tf := func(lba int64, buf []byte) { f(base+lba, buf) }
+	s.SSDs[i].SetFill(tf)
+	s.HDDs[i].SetFill(tf)
 }
 
 // Build constructs a system of the given kind.
@@ -318,49 +431,19 @@ func Build(kind Kind, cfg BuildConfig) (*System, error) {
 		s.flush = c.Flush
 
 	case ICASH:
+		if cfg.Shards > 1 {
+			if err := buildShardedICASH(s, cfg); err != nil {
+				return nil, err
+			}
+			break
+		}
 		ssdBlocks := cacheBlocks(cfg)
-		// The log must comfortably hold the live delta volume of a
-		// fully delta-represented data set (a 4 KB log block packs
-		// roughly ten deltas) plus cleaning headroom.
-		logBlocks := cfg.DataBlocks / 2
-		if logBlocks < 512 {
-			logBlocks = 512
-		}
-		if logBlocks > 262144 {
-			logBlocks = 262144
-		}
+		ccfg := icashConfig(cfg.DataBlocks, ssdBlocks,
+			orDefault(cfg.DeltaRAMBytes, 32<<20), orDefault(cfg.DataRAMBytes, 32<<20),
+			cfg.VMImageBlocks)
 		s.SSD = ssd.New(cachePartitionConfig(ssdBlocks))
-		h := hdd.New(hdd.DefaultConfig(cfg.DataBlocks + logBlocks))
+		h := hdd.New(hdd.DefaultConfig(cfg.DataBlocks + ccfg.LogBlocks))
 		s.HDDs = []*hdd.Device{h}
-		ccfg := core.NewDefaultConfig(cfg.DataBlocks, ssdBlocks,
-			orDefault(cfg.DeltaRAMBytes, 32<<20), orDefault(cfg.DataRAMBytes, 32<<20))
-		ccfg.LogBlocks = logBlocks
-		ccfg.VMImageBlocks = cfg.VMImageBlocks
-		// The paper's scan period (2,000 I/Os) assumes a ~1M-block data
-		// set; keep the scan frequency proportional on scaled-down runs
-		// so reference selection keeps pace with the workload.
-		scan := int(cfg.DataBlocks / 4)
-		if scan > ccfg.ScanPeriod {
-			scan = ccfg.ScanPeriod
-		}
-		if scan < 128 {
-			scan = 128
-		}
-		ccfg.ScanPeriod = scan
-		// Flush cadence scales the same way (the paper's 4,096-I/O
-		// period assumes full-size runs).
-		flush := int(cfg.DataBlocks / 8)
-		if flush > ccfg.FlushPeriodOps {
-			flush = ccfg.FlushPeriodOps
-		}
-		if flush < 64 {
-			flush = 64
-		}
-		ccfg.FlushPeriodOps = flush
-		ccfg.FlushDirtyBytes = ccfg.DeltaRAMBytes / 8
-		// Virtual-block metadata is ~100 B per block (<0.3% of the data
-		// size); track the whole virtual disk rather than thrash.
-		ccfg.MetadataBlocks = int(cfg.DataBlocks) + 64
 		if cfg.Tune != nil {
 			cfg.Tune(&ccfg)
 		}
@@ -406,10 +489,157 @@ func Build(kind Kind, cfg BuildConfig) (*System, error) {
 // re-admits it just as promptly. No-op when the build did not ask for
 // a detector or the system is not I-CASH.
 func (s *System) PollDetector() {
-	if s.Detector == nil || s.ICASH == nil {
+	if s.Detector == nil {
+		return
+	}
+	if s.Sharded != nil {
+		// Quarantine is per shard: a slow channel on s0's SSD
+		// sidetracks only s0; the other shards keep their read path.
+		for i, name := range s.shardSSDNames {
+			s.Sharded.Shard(i).SetSSDQuarantined(s.Detector.AnySlow(name))
+		}
+		return
+	}
+	if s.ICASH == nil {
 		return
 	}
 	s.ICASH.SetSSDQuarantined(s.Detector.AnySlow("ssd"))
+}
+
+// icashConfig sizes one I-CASH controller over dataBlocks virtual
+// blocks — the whole disk for the classic build, one shard's slice for
+// the sharded build, so a shard is configured exactly like a small
+// standalone controller.
+func icashConfig(dataBlocks, ssdBlocks, deltaRAM, dataRAM, vmImageBlocks int64) core.Config {
+	// The log must comfortably hold the live delta volume of a fully
+	// delta-represented data set (a 4 KB log block packs roughly ten
+	// deltas) plus cleaning headroom.
+	logBlocks := dataBlocks / 2
+	if logBlocks < 512 {
+		logBlocks = 512
+	}
+	if logBlocks > 262144 {
+		logBlocks = 262144
+	}
+	ccfg := core.NewDefaultConfig(dataBlocks, ssdBlocks, deltaRAM, dataRAM)
+	ccfg.LogBlocks = logBlocks
+	ccfg.VMImageBlocks = vmImageBlocks
+	// The paper's scan period (2,000 I/Os) assumes a ~1M-block data
+	// set; keep the scan frequency proportional on scaled-down runs
+	// so reference selection keeps pace with the workload.
+	scan := int(dataBlocks / 4)
+	if scan > ccfg.ScanPeriod {
+		scan = ccfg.ScanPeriod
+	}
+	if scan < 128 {
+		scan = 128
+	}
+	ccfg.ScanPeriod = scan
+	// Flush cadence scales the same way (the paper's 4,096-I/O
+	// period assumes full-size runs).
+	flush := int(dataBlocks / 8)
+	if flush > ccfg.FlushPeriodOps {
+		flush = ccfg.FlushPeriodOps
+	}
+	if flush < 64 {
+		flush = 64
+	}
+	ccfg.FlushPeriodOps = flush
+	ccfg.FlushDirtyBytes = ccfg.DeltaRAMBytes / 8
+	// Virtual-block metadata is ~100 B per block (<0.3% of the data
+	// size); track the whole virtual disk rather than thrash.
+	ccfg.MetadataBlocks = int(dataBlocks) + 64
+	return ccfg
+}
+
+// buildShardedICASH assembles cfg.Shards independent controllers, each
+// over its own SSD+HDD pair sized to its LBA slice, and composes them
+// with core.NewSharded under the system's one clock. RAM budgets and
+// the SSD cache split evenly; per-slice floors keep tiny shards
+// viable. The fault injectors, when requested, attach to shard
+// cfg.FaultShard only, under that shard's station namespace.
+func buildShardedICASH(s *System, cfg BuildConfig) error {
+	nsh := cfg.Shards
+	per := (cfg.DataBlocks + int64(nsh) - 1) / int64(nsh)
+	if cfg.VMImageBlocks > 0 {
+		// Align so no VM image straddles a shard boundary: the session
+		// partitions of the block service map whole VMs to shards, and
+		// first-load pairing needs image-offset twins co-resident.
+		per = (per + cfg.VMImageBlocks - 1) / cfg.VMImageBlocks * cfg.VMImageBlocks
+	}
+	ssdBlocks := cacheBlocks(cfg) / int64(nsh)
+	if ssdBlocks < 64 {
+		ssdBlocks = 64
+	}
+	deltaRAM := orDefault(cfg.DeltaRAMBytes, 32<<20) / int64(nsh)
+	if min := per * 512; deltaRAM < min {
+		deltaRAM = min
+	}
+	dataRAM := orDefault(cfg.DataRAMBytes, 32<<20) / int64(nsh)
+	if dataRAM < 512<<10 {
+		dataRAM = 512 << 10
+	}
+	faultShard := cfg.FaultShard
+	if faultShard < 0 || faultShard >= nsh {
+		faultShard = 0
+	}
+
+	shards := make([]*core.Controller, nsh)
+	for i := 0; i < nsh; i++ {
+		ccfg := icashConfig(per, ssdBlocks, deltaRAM, dataRAM, cfg.VMImageBlocks)
+		sdev := ssd.New(cachePartitionConfig(ssdBlocks))
+		h := hdd.New(hdd.DefaultConfig(per + ccfg.LogBlocks))
+		s.SSDs = append(s.SSDs, sdev)
+		s.HDDs = append(s.HDDs, h)
+		if cfg.Tune != nil {
+			cfg.Tune(&ccfg)
+		}
+		var ssdDev, hddDev blockdev.Device = sdev, h
+		if i == faultShard && cfg.FaultSSD != nil {
+			fc := *cfg.FaultSSD
+			fc.Clock = s.Clock
+			if fc.Station == "" {
+				fc.Station = fmt.Sprintf("s%d.ssd", i)
+			}
+			s.SSDFault = fault.Wrap(ssdDev, fc)
+			ssdDev = s.SSDFault
+		}
+		if i == faultShard && cfg.FaultHDD != nil {
+			fc := *cfg.FaultHDD
+			fc.Clock = s.Clock
+			if fc.Station == "" {
+				fc.Station = fmt.Sprintf("s%d.hdd0", i)
+			}
+			s.HDDFault = fault.Wrap(hddDev, fc)
+			hddDev = s.HDDFault
+		}
+		shardCPU := cpumodel.NewAccountant(s.Clock)
+		s.ShardCPUs = append(s.ShardCPUs, shardCPU)
+		ctrl, err := core.New(ccfg, ssdDev, hddDev, s.Clock, shardCPU)
+		if err != nil {
+			return fmt.Errorf("harness: shard %d: %w", i, err)
+		}
+		ctrl.SetScrub(cfg.Scrub)
+		shards[i] = ctrl
+	}
+	sc, err := core.NewSharded(shards)
+	if err != nil {
+		return err
+	}
+	s.Sharded = sc
+	s.Dev = sc
+	// Flush fans across the shards: each drains only shard-local state,
+	// results are index-gathered, and the first-index error wins — same
+	// determinism argument as every other ForEachPoint use.
+	s.flush = func() error {
+		return ForEachPoint(sc.NumShards(), func(i int) error {
+			if err := sc.Shard(i).Flush(); err != nil {
+				return fmt.Errorf("harness: shard %d flush: %w", i, err)
+			}
+			return nil
+		})
+	}
+	return nil
 }
 
 // cachePartitionConfig builds the SSD device for a cache-sized

@@ -1,12 +1,17 @@
 package server
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
 
 	"icash/internal/sim"
 )
+
+// errTestFlush is the injected flush failure for the router barrier
+// test.
+var errTestFlush = errors.New("injected flush failure")
 
 // flushCountBackend counts flushes over a fixed-size in-memory store.
 type flushCountBackend struct {
@@ -112,28 +117,101 @@ func TestRegistryDrain(t *testing.T) {
 	}
 }
 
-// TestLockedBackendSerializes funnels concurrent writers through a
-// LockedBackend; -race proves the serialization, the counter proves no
-// call was lost.
-func TestLockedBackendSerializes(t *testing.T) {
-	inner := &flushCountBackend{}
-	lb := NewLockedBackend(inner)
-	if lb.Blocks() != 64 {
-		t.Fatalf("Blocks = %d, want 64", lb.Blocks())
+// recordBackend counts ops without any internal locking, so the race
+// detector proves the router serializes everything that reaches one
+// shard.
+type recordBackend struct {
+	reads, writes, flushes int
+	lastLBA                int64
+	fail                   error
+}
+
+func (b *recordBackend) ReadBlock(lba int64, buf []byte) (sim.Duration, error) {
+	b.reads++
+	b.lastLBA = lba
+	return 0, nil
+}
+func (b *recordBackend) WriteBlock(lba int64, buf []byte) (sim.Duration, error) {
+	b.writes++
+	b.lastLBA = lba
+	return 0, nil
+}
+func (b *recordBackend) Blocks() int64 { return 64 }
+func (b *recordBackend) Flush() error {
+	b.flushes++
+	return b.fail
+}
+
+// TestShardRouterRoutes pins the routing arithmetic: global LBAs split
+// into (shard, local) by the uniform shard size, out-of-range LBAs are
+// refused before any shard is touched.
+func TestShardRouterRoutes(t *testing.T) {
+	inner := []*recordBackend{{}, {}, {}, {}}
+	shards := make([]Backend, len(inner))
+	for i := range inner {
+		shards[i] = inner[i]
+	}
+	r, err := NewShardRouter(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Blocks() != 256 || r.NumShards() != 4 || r.ShardBlocks() != 64 {
+		t.Fatalf("shape: blocks=%d shards=%d per=%d", r.Blocks(), r.NumShards(), r.ShardBlocks())
+	}
+	buf := make([]byte, 4096)
+	if _, err := r.WriteBlock(70, buf); err != nil {
+		t.Fatal(err)
+	}
+	if inner[1].writes != 1 || inner[1].lastLBA != 6 {
+		t.Fatalf("lba 70: shard 1 saw writes=%d lastLBA=%d, want 1/6", inner[1].writes, inner[1].lastLBA)
+	}
+	if _, err := r.ReadBlock(255, buf); err != nil {
+		t.Fatal(err)
+	}
+	if inner[3].reads != 1 || inner[3].lastLBA != 63 {
+		t.Fatalf("lba 255: shard 3 saw reads=%d lastLBA=%d, want 1/63", inner[3].reads, inner[3].lastLBA)
+	}
+	for _, lba := range []int64{-1, 256} {
+		if _, err := r.ReadBlock(lba, buf); err == nil {
+			t.Errorf("read of lba %d succeeded; want range error", lba)
+		}
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range inner {
+		if b.flushes != 1 {
+			t.Errorf("shard %d flushed %d times, want 1", i, b.flushes)
+		}
+	}
+}
+
+// TestShardRouterSerializes drives concurrent writers and flushers
+// through the router; the backends hold no locks of their own, so -race
+// proves the per-shard addresses serialize every path (including the
+// all-shards flush barrier), and the counters prove no call was lost.
+func TestShardRouterSerializes(t *testing.T) {
+	inner := []*recordBackend{{}, {}}
+	r, err := NewShardRouter([]Backend{inner[0], inner[1]})
+	if err != nil {
+		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
-	buf := make([]byte, 4096)
 	wg.Add(4)
 	for g := 0; g < 4; g++ {
+		g := g
 		go func() {
 			defer wg.Done()
-			local := make([]byte, len(buf))
+			local := make([]byte, 4096)
 			for i := 0; i < 50; i++ {
-				if _, err := lb.WriteBlock(int64(i%64), local); err != nil {
+				// Two goroutines per shard, plus everyone crossing the
+				// flush barrier.
+				lba := int64((g%2)*64 + i%64)
+				if _, err := r.WriteBlock(lba, local); err != nil {
 					t.Error(err)
 					return
 				}
-				if err := lb.Flush(); err != nil {
+				if err := r.Flush(); err != nil {
 					t.Error(err)
 					return
 				}
@@ -141,7 +219,51 @@ func TestLockedBackendSerializes(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if inner.flushes != 200 {
-		t.Fatalf("flushes = %d, want 200", inner.flushes)
+	if got := inner[0].writes + inner[1].writes; got != 200 {
+		t.Fatalf("writes = %d, want 200", got)
+	}
+	if inner[0].flushes != 200 || inner[1].flushes != 200 {
+		t.Fatalf("flushes = %d/%d, want 200/200", inner[0].flushes, inner[1].flushes)
+	}
+}
+
+// sizedBackend is a recordBackend with a configurable size, for the
+// uniformity checks.
+type sizedBackend struct {
+	recordBackend
+	blocks int64
+}
+
+func (b *sizedBackend) Blocks() int64 { return b.blocks }
+
+// TestShardRouterRejectsRaggedShards pins the uniformity requirement.
+func TestShardRouterRejectsRaggedShards(t *testing.T) {
+	if _, err := NewShardRouter(nil); err == nil {
+		t.Error("empty shard list accepted")
+	}
+	if _, err := NewShardRouter([]Backend{&sizedBackend{blocks: 64}, &sizedBackend{blocks: 32}}); err == nil {
+		t.Error("ragged shard sizes accepted")
+	}
+	if _, err := NewShardRouter([]Backend{&sizedBackend{blocks: 0}}); err == nil {
+		t.Error("zero-size shard accepted")
+	}
+}
+
+// TestShardRouterFlushError pins first-error-wins across the barrier.
+func TestShardRouterFlushError(t *testing.T) {
+	bad := &recordBackend{fail: errTestFlush}
+	r, err := NewShardRouter([]Backend{&recordBackend{}, bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(); err == nil || !strings.Contains(err.Error(), "shard 1 flush") {
+		t.Fatalf("Flush error = %v, want shard 1 flush wrap", err)
+	}
+	// The barrier must have released: a second flush still runs.
+	if err := r.Flush(); err == nil {
+		t.Fatal("second Flush returned nil; want the persistent error again")
+	}
+	if bad.flushes != 2 {
+		t.Fatalf("bad shard flushed %d times, want 2", bad.flushes)
 	}
 }

@@ -420,6 +420,10 @@ func RunServed(p workload.Profile, opts workload.Options, cfg SimConfig) (*Serve
 		st := sys.ICASH.Stats
 		res.Stats = &st
 		res.Degraded = sys.ICASH.Degraded()
+	} else if sys.Sharded != nil {
+		st := sys.Sharded.Stats()
+		res.Stats = &st
+		res.Degraded = sys.Sharded.Degraded()
 	}
 	return res, nil
 }

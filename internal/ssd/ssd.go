@@ -181,6 +181,25 @@ type Stats struct {
 	RetiredBlocks int64
 }
 
+// Accumulate adds every counter of o into s — the aggregation the
+// element array and the sharded harness use to report one device-level
+// figure across per-element / per-shard SSDs. Write amplification is
+// recomputed from the summed programs and host writes, so it stays a
+// ratio, never an average of averages.
+func (s *Stats) Accumulate(o *Stats) {
+	s.Stats.Add(o.Stats)
+	s.HostWrites += o.HostWrites
+	s.PagesProgrammed += o.PagesProgrammed
+	s.PagesRelocated += o.PagesRelocated
+	s.Erases += o.Erases
+	s.GCRuns += o.GCRuns
+	s.GCTime += o.GCTime
+	s.ReadCacheHits += o.ReadCacheHits
+	s.MapMisses += o.MapMisses
+	s.WornBlocks += o.WornBlocks
+	s.RetiredBlocks += o.RetiredBlocks
+}
+
 // WriteAmplification returns physical programs per host write.
 func (s *Stats) WriteAmplification() float64 {
 	if s.HostWrites == 0 {
